@@ -1,0 +1,42 @@
+"""Shared fixtures for the per-figure reproduction benches.
+
+Each bench runs its experiment once (``benchmark.pedantic`` with a
+single round — these are reproduction drivers, not microbenchmarks),
+prints the regenerated table/series, and archives it under
+``results/``.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+#: Scale used by the reproduction benches (override with REPRO_SCALE).
+SCALE = os.environ.get("REPRO_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def archive(results_dir):
+    """Print a rendered experiment and save it to results/<name>.txt."""
+
+    def _archive(name: str, text: str):
+        print()
+        print(text)
+        path = os.path.join(results_dir, f"{name}.txt")
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        return path
+
+    return _archive
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,48 @@
+"""Design-choice ablations (DESIGN.md Section 4).
+
+Not paper figures — benches for the design decisions the paper makes by
+construction:
+
+- PC-coalescer port count (the paper picks 2, Section 4.3.4);
+- rename registers per TB (the paper allows 32, Section 4.3.1);
+- register versioning vs synchronize-on-every-redundant-write
+  (Section 4.1's rejected option 1).
+"""
+
+from conftest import SCALE, run_once
+
+from repro.harness import experiments
+
+
+def test_ablation_skip_ports(benchmark, archive):
+    result = run_once(
+        benchmark, experiments.ablation_skip_ports, abbr="MM", scale=SCALE
+    )
+    archive("ablation_skip_ports", result.render())
+    speedups = dict(result.points)
+    # Two ports suffice (paper: "the PC coalescer reduces the port
+    # requirement ... to 2 while providing reasonable throughput").
+    assert speedups[2] >= 0.97 * speedups[8]
+    # One port can only be slower or equal.
+    assert speedups[1] <= speedups[8] * 1.02
+
+
+def test_ablation_rename_registers(benchmark, archive):
+    result = run_once(
+        benchmark, experiments.ablation_rename_registers, abbr="MM", scale=SCALE
+    )
+    archive("ablation_rename_regs", result.render())
+    speedups = dict(result.points)
+    # Starving the freelist forces synchronization; 32 registers must be
+    # at least as good as 4.
+    assert speedups[32] >= speedups[4] - 0.02
+
+
+def test_ablation_sync_on_write(benchmark, archive):
+    result = run_once(
+        benchmark, experiments.ablation_sync_on_write, abbr="MM", scale=SCALE
+    )
+    archive("ablation_sync_on_write", result.render())
+    speedups = dict(result.points)
+    # The paper adopts versioning "to avoid excessive synchronization".
+    assert speedups["versioning"] >= speedups["sync-on-write"] - 0.02

@@ -1,0 +1,23 @@
+"""Figure 1: redundant instructions per GPU thread-grouping level.
+
+Paper: TB-wide redundancy is the largest opportunity — on average ~33 %
+of executed instructions need only execute once per TB, more than the
+grid-wide fraction.
+"""
+
+from conftest import SCALE, run_once
+
+from repro.harness import experiments
+
+
+def test_figure1(benchmark, archive):
+    result = run_once(benchmark, experiments.figure1, scale=SCALE)
+    archive("figure01_redundancy_levels", result.render())
+
+    avg = result.average
+    # TB-wide redundancy is the largest redundancy opportunity.
+    assert avg.tb >= avg.grid, "TB-wide redundancy should dominate grid-wide"
+    # A significant fraction (paper: ~33 %) of instructions are TB-redundant.
+    assert 0.15 <= avg.tb <= 0.6, f"TB-wide fraction {avg.tb:.2f} out of expected band"
+    # There is real vector work left (the machine is not all-redundant).
+    assert avg.vector > 0.2

@@ -1,0 +1,33 @@
+"""Figure 2: taxonomy breakdown of TB-redundant instructions.
+
+Paper: affine and unstructured redundancy are pervasive in 2D TBs but
+largely absent in 1D; uniform redundancy is common in both.
+"""
+
+from conftest import SCALE, run_once
+
+from repro.harness import experiments
+from repro.workloads import ONE_D_ABBRS, TWO_D_ABBRS
+
+
+def test_figure2(benchmark, archive):
+    result = run_once(benchmark, experiments.figure2, scale=SCALE)
+    archive("figure02_taxonomy", result.render())
+
+    non_uniform_1d = [
+        result.per_workload[a].affine + result.per_workload[a].unstructured
+        for a in ONE_D_ABBRS
+    ]
+    non_uniform_2d = [
+        result.per_workload[a].affine + result.per_workload[a].unstructured
+        for a in TWO_D_ABBRS
+    ]
+    avg_1d = sum(non_uniform_1d) / len(non_uniform_1d)
+    avg_2d = sum(non_uniform_2d) / len(non_uniform_2d)
+    # Affine + unstructured redundancy is a 2D-TB phenomenon.
+    assert avg_2d > 2 * avg_1d, (
+        f"2D affine+unstructured ({avg_2d:.2f}) should dwarf 1D ({avg_1d:.2f})"
+    )
+    # Uniform redundancy appears in both 1D and 2D applications.
+    assert all(result.per_workload[a].uniform > 0 for a in ONE_D_ABBRS)
+    assert all(result.per_workload[a].uniform > 0 for a in TWO_D_ABBRS)

@@ -1,0 +1,29 @@
+"""Figure 9: instruction reduction on 1D benchmarks.
+
+Paper shape: in 1D TBs there is (almost) no affine/unstructured
+redundancy for DARSIE to remove — its reductions are uniform-class;
+DAC-IDEAL additionally removes non-redundant affine computation; LIB is
+the outlier with ~75 % (mostly uniform) reduction.
+"""
+
+from conftest import SCALE, run_once
+
+from repro.harness import experiments
+
+
+def test_figure9(benchmark, archive):
+    result = run_once(benchmark, experiments.figure9, scale=SCALE)
+    archive("figure09_reduction_1d", result.render())
+
+    for abbr, by_config in result.per_workload.items():
+        darsie = by_config["DARSIE"]
+        total = sum(darsie.values())
+        uniform = darsie.get("uniform", 0.0)
+        # DARSIE's 1D reductions are dominated by uniform redundancy.
+        assert uniform >= 0.8 * total, f"{abbr}: 1D reduction should be uniform-dominated"
+    # LIB is the extreme case (paper: 75 %).
+    lib_total = sum(result.per_workload["LIB"]["DARSIE"].values())
+    assert lib_total > 0.45, f"LIB reduction {lib_total:.2f} should be the largest"
+    assert lib_total == max(
+        sum(v["DARSIE"].values()) for v in result.per_workload.values()
+    )

@@ -1,0 +1,24 @@
+"""Figure 11: energy reduction vs the baseline.
+
+Paper shape: DARSIE reduces energy the most (gmean 25 % on 2D apps),
+then DAC-IDEAL (20 %), then UV (7 %); DARSIE's added hardware costs
+about 0.95 % of dynamic energy.
+"""
+
+from conftest import SCALE, run_once
+
+from repro.harness import experiments
+
+
+def test_figure11(benchmark, archive):
+    result = run_once(benchmark, experiments.figure11, scale=SCALE)
+    archive("figure11_energy", result.render())
+
+    g2 = result.gmean_2d
+    assert g2["DARSIE"] > g2["DAC-IDEAL"] > g2["UV"], (
+        "energy-reduction ordering must match the paper"
+    )
+    assert g2["DARSIE"] > 0.05, "DARSIE should show a clear 2D energy win"
+    # The DARSIE structures are cheap (paper: 0.95 % of dynamic energy).
+    for abbr, frac in result.darsie_overhead.items():
+        assert frac < 0.03, f"{abbr}: DARSIE overhead {frac:.3%} too high"

@@ -1,0 +1,22 @@
+"""Section 1: the 133-application dimensionality survey.
+
+Reproduced over the synthetic dataset constructed to match the paper's
+aggregates: >33 % multi-dimensional apps, 60 % among library apps, 71 %
+of time in multi-dimensional kernels, and exactly one 2D kernel failing
+the promotion criterion.
+"""
+
+from conftest import run_once
+
+from repro.harness import experiments
+
+
+def test_survey(benchmark, archive):
+    result = run_once(benchmark, experiments.survey)
+    archive("sec01_survey", result.render())
+
+    assert result.num_applications == 133
+    assert result.fraction_multi_dimensional > 0.33
+    assert abs(result.fraction_library_multi_dimensional - 0.60) < 0.01
+    assert abs(result.mean_time_in_md_kernels - 0.71) < 0.02
+    assert result.promotion_failures == 1

@@ -1,0 +1,25 @@
+"""Section 6.3: area estimation — reproduced exactly (it is arithmetic).
+
+Paper numbers: 82-bit skip entries, 2624-byte skip table, 128-byte
+majority masks, 21-bit rename entries, 2688-byte rename/version tables,
+5.31 kB total = ~2.1 % of the Pascal register file.
+"""
+
+from conftest import run_once
+
+from repro.core import paper_area_model
+from repro.harness import experiments
+
+
+def test_area(benchmark, archive):
+    model = run_once(benchmark, paper_area_model)
+    archive("sec63_area", experiments.area_estimate())
+
+    assert model.skip_entry_bits == 82
+    assert model.skip_table_entries == 256
+    assert model.skip_table_bytes == 2624
+    assert model.majority_mask_bytes == 128
+    assert model.rename_entry_bits == 21
+    assert model.rename_table_bytes == 2688
+    assert abs(model.total_kb - 5.31) < 0.01
+    assert abs(model.fraction_of_register_file - 0.021) < 0.001

@@ -1,0 +1,23 @@
+"""Table 1: the application set — names, suites and TB dimensions."""
+
+from conftest import run_once
+
+from repro.harness import experiments
+from repro.workloads import ALL_ABBRS, ONE_D_ABBRS, TWO_D_ABBRS, TABLE1
+
+
+def test_table1(benchmark, archive):
+    text = run_once(benchmark, experiments.table1)
+    archive("table1_applications", text)
+
+    assert len(ALL_ABBRS) == 13
+    assert len(ONE_D_ABBRS) == 5 and len(TWO_D_ABBRS) == 8
+    # The paper's TB dimensions, verbatim.
+    expected = {
+        "BIN": (256, 1), "PT": (1024, 1), "FW": (256, 1), "SR1": (512, 1),
+        "LIB": (256, 1), "IMNLM": (16, 16), "BP": (16, 16), "DCT8x8": (8, 8),
+        "FWS": (16, 16), "HS": (16, 16), "CP": (16, 8), "CONVTEX": (16, 16),
+        "MM": (32, 32),
+    }
+    for abbr, dims in expected.items():
+        assert TABLE1[abbr].tb_dim == dims, abbr

@@ -1,0 +1,19 @@
+"""Table 2: the baseline GPU configuration."""
+
+from conftest import run_once
+
+from repro.harness import experiments
+from repro.timing import PASCAL_GTX1080TI
+
+
+def test_table2(benchmark, archive):
+    text = run_once(benchmark, experiments.table2)
+    archive("table2_baseline", text)
+
+    cfg = PASCAL_GTX1080TI
+    assert cfg.num_sms == 28
+    assert cfg.max_warps_per_sm == 64
+    assert cfg.max_tbs_per_sm == 32
+    assert cfg.warp_size == 32
+    assert cfg.num_schedulers == 4
+    assert cfg.vector_registers_per_sm == 2048

@@ -1,0 +1,19 @@
+"""Table 3: capability matrix vs related work."""
+
+from conftest import run_once
+
+from repro.harness import experiments
+from repro.harness.related_work import TABLE3, darsie_covers_all
+
+
+def test_table3(benchmark, archive):
+    text = run_once(benchmark, experiments.table3)
+    archive("table3_related_work", text)
+
+    assert darsie_covers_all()
+    # Only DARSIE handles unstructured redundancy (row 3 of the matrix).
+    unstructured = [t for t, flags in TABLE3.items() if flags[2]]
+    assert unstructured == ["DARSIE"]
+    # UV and DARSIE are the minimal-pipeline-modification techniques.
+    minimal = {t for t, flags in TABLE3.items() if flags[3]}
+    assert minimal == {"UV [50]", "DARSIE"}

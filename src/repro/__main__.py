@@ -1,0 +1,133 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro list
+    python -m repro figure8 [--scale small] [--apps MM,LIB]
+    python -m repro all --scale tiny
+    python -m repro run MM --config DARSIE --trace
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness import experiments
+from repro.workloads import ALL_ABBRS
+
+#: name -> (callable, takes_scale, takes_abbrs)
+EXPERIMENTS = {
+    "figure1": (experiments.figure1, True, True),
+    "figure2": (experiments.figure2, True, True),
+    "figure6": (experiments.figure6, True, False),
+    "figure8": (experiments.figure8, True, True),
+    "figure9": (experiments.figure9, True, False),
+    "figure10": (experiments.figure10, True, False),
+    "figure11": (experiments.figure11, True, True),
+    "figure12": (experiments.figure12, True, True),
+    "table1": (experiments.table1, False, False),
+    "table2": (experiments.table2, False, False),
+    "table3": (experiments.table3, False, False),
+    "area": (experiments.area_estimate, False, False),
+    "survey": (experiments.survey, False, False),
+}
+
+
+def run_one(name: str, scale: str, abbrs) -> None:
+    fn, takes_scale, takes_abbrs = EXPERIMENTS[name]
+    kwargs = {}
+    if takes_scale:
+        kwargs["scale"] = scale
+    if takes_abbrs and abbrs:
+        kwargs["abbrs"] = abbrs
+    start = time.time()
+    result = fn(**kwargs)
+    text = result if isinstance(result, str) else result.render()
+    print(text)
+    print(f"\n[{name} regenerated in {time.time() - start:.1f}s]")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate tables/figures from the DARSIE paper (ASPLOS 2020).",
+    )
+    parser.add_argument("experiment", choices=list(EXPERIMENTS) + ["list", "all", "run"])
+    parser.add_argument("workload", nargs="?", default=None,
+                        help="for `run`: a Table 1 abbreviation, e.g. MM")
+    parser.add_argument("--scale", default="small", choices=["tiny", "small", "medium"],
+                        help="workload problem size (default: small)")
+    parser.add_argument("--apps", default=None,
+                        help="comma-separated Table 1 abbreviations (default: all)")
+    parser.add_argument("--config", default="DARSIE",
+                        help="for `run`: BASE / UV / DAC-IDEAL / DARSIE / variants")
+    parser.add_argument("--trace", action="store_true",
+                        help="for `run`: print a pipeline trace of the first cycles")
+    parser.add_argument("--json", action="store_true",
+                        help="for `run`: dump the result counters as JSON")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "run":
+        return run_workload(parser, args)
+
+    if args.experiment == "list":
+        print("available experiments:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        return 0
+
+    abbrs = None
+    if args.apps:
+        abbrs = tuple(a.strip().upper() for a in args.apps.split(","))
+        unknown = set(abbrs) - set(ALL_ABBRS)
+        if unknown:
+            parser.error(f"unknown apps: {sorted(unknown)}; known: {ALL_ABBRS}")
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        run_one(name, args.scale, abbrs)
+        print()
+    return 0
+
+
+def run_workload(parser, args) -> int:
+    """`python -m repro run ABBR --config NAME [--trace] [--json]`."""
+    from repro.harness.runner import CONFIG_NAMES, WorkloadRunner
+    from repro.timing import PipelineTrace
+    from repro.timing.gpu import GPU
+    from repro.workloads import build_workload
+
+    if not args.workload or args.workload.upper() not in ALL_ABBRS:
+        parser.error(f"run needs a workload from {ALL_ABBRS}")
+    abbr = args.workload.upper()
+    runner = WorkloadRunner(build_workload(abbr, args.scale))
+    base = runner.run("BASE")
+    res = runner.run(args.config)
+    print(f"{abbr} [{args.scale}] under {args.config}:")
+    print(f"  cycles  : {res.cycles} (BASE {base.cycles}, "
+          f"speedup {base.cycles / res.cycles:.2f}x)")
+    print(f"  executed: {res.stats.instructions_executed}  "
+          f"skipped: {res.stats.instructions_skipped}  "
+          f"eliminated: {res.stats.executions_eliminated}")
+    print(f"  energy  : {res.energy_pj / 1e6:.2f} uJ "
+          f"({runner.energy_reduction(args.config):.1%} below BASE)")
+    if args.json:
+        print(res.sim.to_json(indent=2))
+    if args.trace:
+        # Re-run with the tracer attached (traces are not cached).
+        mem, params = runner.workload.fresh()
+        gpu = GPU(runner.workload.program, runner.workload.launch, mem,
+                  params=params, config=runner.gpu_config,
+                  frontend_factory=runner._frontend_factory(args.config))
+        trace = PipelineTrace()
+        gpu.attach_trace(trace)
+        gpu.run()
+        print()
+        print(trace.render(max_cycles=110, max_warps=10))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Redundancy limit studies and shared statistics helpers.
+
+- :mod:`repro.analysis.limit_study` — Figure 1: redundancy at the grid,
+  TB and warp grouping levels.
+- :mod:`repro.analysis.taxonomy_study` — Figure 2: per-benchmark
+  uniform / affine / unstructured breakdown of TB-redundant work.
+- :mod:`repro.analysis.survey` — the Section 1 survey of TB
+  dimensionality across 133 applications (synthetic dataset).
+- :mod:`repro.analysis.stats` — geometric means and table helpers.
+"""
+
+from repro.analysis.stats import geomean, percent
+from repro.analysis.limit_study import LevelBreakdown, redundancy_levels
+from repro.analysis.taxonomy_study import TaxonomyBreakdown, taxonomy_breakdown
+from repro.analysis.survey import ApplicationSurvey, SurveyEntry, default_survey
+from repro.analysis.opportunity import OpportunityReport, PCOpportunity, opportunity_report
+
+__all__ = [
+    "geomean",
+    "percent",
+    "LevelBreakdown",
+    "redundancy_levels",
+    "TaxonomyBreakdown",
+    "taxonomy_breakdown",
+    "ApplicationSurvey",
+    "SurveyEntry",
+    "default_survey",
+    "OpportunityReport",
+    "PCOpportunity",
+    "opportunity_report",
+]

@@ -1,0 +1,20 @@
+"""Small statistics helpers shared by the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; the paper reports GMEAN speedups and reductions."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def percent(fraction: float) -> str:
+    return f"{100.0 * fraction:.1f}%"

@@ -1,0 +1,15 @@
+"""Comparison techniques from prior work (Section 5).
+
+- :mod:`repro.baselines.uv` — Uniform Vector (Xiang et al., ICS 2013):
+  issue-stage elimination of uniform-redundant instructions through an
+  instruction reuse buffer.  Instructions are still fetched and decoded.
+- :mod:`repro.baselines.dac` — idealized Decoupled Affine Computation
+  (Wang & Lin, ISCA 2017): every affine (and uniform) value-producing
+  instruction is executed only once per TB, with no synchronization
+  cost between the affine and vector streams.
+"""
+
+from repro.baselines.uv import UVFrontend
+from repro.baselines.dac import DacIdealFrontend, build_dac_profile
+
+__all__ = ["UVFrontend", "DacIdealFrontend", "build_dac_profile"]

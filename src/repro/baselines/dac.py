@@ -1,0 +1,116 @@
+"""Idealized Decoupled Affine Computation (DAC-IDEAL) [Wang & Lin, 2017].
+
+The paper models an idealized DAC "by detecting affine instructions at
+runtime, and assuming that all affine instructions (both redundant and
+otherwise) will be executed only once.  We also assume there is no
+synchronization cost between affine and non-affine instruction streams"
+(Section 5).  DAC covers uniform and affine value structure but *not*
+unstructured redundancy — that gap is DARSIE's headline advantage.
+
+Model: a profiling pass (:func:`build_dac_profile`) runs the kernel
+functionally and finds every dynamic instance whose output is uniform or
+affine in *every* warp of its TB.  In the timing run, the lowest-numbered
+warp executes the instance normally (the affine stream); all other warps
+receive it as a zero-cost I-buffer entry — never fetched, issued or
+executed on the SIMD path, draining with zero latency subject only to
+true data dependences (the idealized "no synchronization cost").
+
+Memory instructions are excluded: DAC decouples affine *computation*;
+loads stay in the SIMT stream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.isa.instructions import INSTRUCTION_BYTES
+from repro.simt.grid import LaunchConfig
+from repro.simt.memory import GlobalMemory
+from repro.simt.tracer import AFFINE, UNIFORM, Tracer
+from repro.timing.core import IBufferEntry
+from repro.timing.frontend import FetchAction, Frontend
+
+#: Profile: (tb, warp, pc, occurrence) -> value-pattern kind, for every
+#: instance a non-executing warp receives for free.
+DacProfile = Dict[Tuple[int, int, int, int], str]
+
+
+def build_dac_profile(program, launch: LaunchConfig, memory_words, params) -> DacProfile:
+    """Run the oracle profiling pass over a fresh copy of memory.
+
+    ``memory_words`` is the *initial* global-memory image (the profiling
+    run must not disturb the memory the timing run will use).
+    """
+    memory = GlobalMemory(len(memory_words))
+    memory.words[:] = memory_words
+    tracer = Tracer()
+    from repro.simt.executor import run_functional  # local import: avoid cycle
+
+    run_functional(program, launch, memory, params=dict(params), tracer=tracer)
+    profile: DacProfile = {}
+    warps = launch.warps_per_block
+    for (tb, pc, occ), records in tracer.trace.grouped_by_tb():
+        if len(records) != warps:
+            continue  # control divergence: not a clean TB-wide instance
+        inst = program.at(pc)
+        if inst.is_memory:
+            continue
+        if inst.dest_register() is None and inst.dest_predicate() is None:
+            continue
+        kinds = {r.summary.kind for r in records}
+        if any(r.divergent for r in records):
+            continue
+        if kinds <= {UNIFORM, AFFINE}:
+            executor = min(r.warp_id for r in records)
+            kind = UNIFORM if kinds == {UNIFORM} else AFFINE
+            for rec in records:
+                if rec.warp_id != executor:
+                    profile[(tb, rec.warp_id, pc, occ)] = kind
+    return profile
+
+
+class DacIdealFrontend(Frontend):
+    """Oracle affine-stream removal with zero synchronization cost."""
+
+    name = "DAC-IDEAL"
+
+    def __init__(self, profile: DacProfile):
+        self.profile = profile
+
+    def on_tb_launch(self, tb_rt) -> None:
+        tb_rt.frontend_state = {"occ": {}}
+
+    def fetch_cycle(self, cycle: int) -> None:
+        """Convert profiled instances into zero-cost I-buffer entries.
+
+        This runs outside fetch bandwidth: the affine stream is a
+        separate (idealized) pipeline.
+        """
+        for tb_rt in self.sm.tbs:
+            occ_state = tb_rt.frontend_state["occ"]
+            for wrt in tb_rt.warps:
+                if wrt.exited or not wrt.fetch_ready():
+                    continue
+                while wrt.fetch_pc < self.sm.ctx.program.end_pc:
+                    pc = wrt.fetch_pc
+                    inst = self.sm.ctx.program.at(pc)
+                    key = (wrt.warp.warp_id, pc)
+                    occ = occ_state.get(key, 0)
+                    pkey = (tb_rt.tb.tb_index, wrt.warp.warp_id, pc, occ)
+                    kind = self.profile.get(pkey)
+                    if kind is None:
+                        break
+                    occ_state[key] = occ + 1
+                    wrt.ibuffer.append(IBufferEntry(inst=inst, free=True))
+                    self.sm.stats.skipped_by_class[kind] += 1
+                    wrt.fetch_pc = pc + INSTRUCTION_BYTES
+
+    def on_fetch(self, wrt, inst, is_leader: bool) -> Optional[Dict]:
+        # Count occurrences of normally fetched instructions too, so the
+        # profile's occurrence numbering stays aligned per (warp, pc).
+        occ_state = wrt.tb_rt.frontend_state["occ"]
+        key = (wrt.warp.warp_id, inst.pc)
+        occ_state[key] = occ_state.get(key, 0) + 1
+        return None

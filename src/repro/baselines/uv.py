@@ -1,0 +1,73 @@
+"""Uniform Vector (UV) baseline [Xiang et al., ICS 2013].
+
+UV "makes use of an instruction reuse buffer to eliminate instructions
+that read uniform scalar register values.  UV prevents instructions from
+executing at the issue stage of the pipeline after being loaded into the
+instruction buffer.  It does not consider non-uniform redundant vectors,
+and does not skip memory operations" (Section 5).
+
+Model: an instruction instance is UV-eliminable when it is statically
+*definitely redundant* (DR — i.e. uniform redundancy in the taxonomy:
+"uniform redundant values are always definitely redundant", Section 4.2),
+produces a register and is not a memory operation.  The first warp of a
+TB to issue the instance fills the reuse buffer; subsequent warps read
+the buffered result instead of executing.  Fetch, decode and issue
+bandwidth are still consumed — which is exactly why UV saturates on
+fetch-bound applications (Section 6.1: "UV is typically limited by fetch
+throughput").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.core.promotion import promote_markings
+from repro.core.taxonomy import Marking
+from repro.simt.tracer import UNIFORM
+from repro.timing.frontend import Frontend
+
+
+class UVFrontend(Frontend):
+    """Issue-stage uniform-redundancy elimination."""
+
+    name = "UV"
+
+    def __init__(self, analysis):
+        self.analysis = analysis
+        self.uniform_pcs: Set[int] = set()
+
+    def bind(self, sm) -> None:
+        super().bind(sm)
+        program = sm.ctx.program
+        markings = self.analysis.instruction_markings
+        self.uniform_pcs = set()
+        for inst in program.instructions:
+            if markings.get(inst.pc) is not Marking.REDUNDANT:
+                continue
+            if inst.is_memory:
+                continue  # UV does not skip memory operations
+            if inst.dest_register() is None and inst.dest_predicate() is None:
+                continue
+            self.uniform_pcs.add(inst.pc)
+
+    def on_tb_launch(self, tb_rt) -> None:
+        # Reuse buffer: (pc, instance#) entries already produced by some
+        # warp of this TB; per-warp instance counters keep loop
+        # iterations distinct.
+        tb_rt.frontend_state = {
+            "filled": set(),    # type: Set[Tuple[int, int]]
+            "count": {},        # type: Dict[Tuple[int, int], int]
+        }
+
+    def eliminate_at_issue(self, wrt, inst) -> Optional[str]:
+        if inst.pc not in self.uniform_pcs:
+            return None
+        state = wrt.tb_rt.frontend_state
+        key = (wrt.warp.warp_id, inst.pc)
+        occ = state["count"].get(key, 0)
+        state["count"][key] = occ + 1
+        instance = (inst.pc, occ)
+        if instance in state["filled"]:
+            return UNIFORM
+        state["filled"].add(instance)
+        return None

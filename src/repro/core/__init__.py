@@ -1,0 +1,51 @@
+"""DARSIE core: the paper's primary contribution.
+
+- :mod:`repro.core.taxonomy` — the redundancy taxonomy of Section 2 and
+  the marking lattice used by the compiler pass.
+- :mod:`repro.core.compiler_pass` — static DR/CR/VEC marking (Section 4.2).
+- :mod:`repro.core.promotion` — kernel-launch-time promotion of
+  conditionally redundant markings (Section 4.2).
+- :mod:`repro.core.skip_table`, :mod:`repro.core.rename`,
+  :mod:`repro.core.coalescer`, :mod:`repro.core.majority` — the hardware
+  structures of Section 4.3.
+- :mod:`repro.core.darsie` — the fetch-stage instruction skipper tying
+  the structures together (Sections 4.1, 4.3.5, 4.4, 4.5).
+- :mod:`repro.core.area` — the Section 6.3 area estimate.
+"""
+
+from repro.core.taxonomy import (
+    Marking,
+    RedundancyClass,
+    classify_group,
+    classify_tb_groups,
+)
+from repro.core.compiler_pass import CompilerAnalysis, analyze_program
+from repro.core.promotion import promote_markings, promotion_applies, promotion_applies_y
+from repro.core.skip_table import PCSkipTable, SkipTableEntry
+from repro.core.rename import RegisterRenameUnit, RenameError
+from repro.core.coalescer import PCCoalescer
+from repro.core.majority import MajorityPathMask
+from repro.core.darsie import DarsieConfig, DarsieFrontend
+from repro.core.area import AreaModel, paper_area_model
+
+__all__ = [
+    "Marking",
+    "RedundancyClass",
+    "classify_group",
+    "classify_tb_groups",
+    "CompilerAnalysis",
+    "analyze_program",
+    "promote_markings",
+    "promotion_applies",
+    "promotion_applies_y",
+    "PCSkipTable",
+    "SkipTableEntry",
+    "RegisterRenameUnit",
+    "RenameError",
+    "PCCoalescer",
+    "MajorityPathMask",
+    "DarsieConfig",
+    "DarsieFrontend",
+    "AreaModel",
+    "paper_area_model",
+]

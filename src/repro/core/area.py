@@ -1,0 +1,113 @@
+"""Area estimation (Section 6.3).
+
+Pure arithmetic over the sizes of DARSIE's added structures:
+
+- PC Skip Table entry: 48-bit PC + 32-bit warp-waiting mask + IsLoad +
+  LeaderWB = 82 bits; 8 entries/TB x 32 TBs/SM = 256 entries.
+- Majority path mask: 32 bits/TB x 32 TBs = 1024 bits.
+- Rename + version table entry: 8-bit named register (CUDA allows 255
+  named registers/thread) + 8-bit physical tag + 5-bit version = 21
+  bits; 32 entries/TB x 32 TBs.
+
+Total: 5.31 kB, about 2.1 % of the Pascal register file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Bit-level sizing of DARSIE's hardware structures."""
+
+    pc_bits: int = 48
+    warp_mask_bits: int = 32          # at most 32 warps per TB
+    is_load_bits: int = 1
+    leader_wb_bits: int = 1
+    skip_entries_per_tb: int = 8
+    tbs_per_sm: int = 32
+    majority_mask_bits_per_tb: int = 32
+    named_reg_bits: int = 8           # 255 named registers per thread
+    phys_tag_bits: int = 8
+    version_bits: int = 5
+    rename_entries_per_tb: int = 32
+    #: register file: 2K vector registers x 32 lanes x 4 B
+    register_file_bytes: int = 2048 * 32 * 4
+
+    @property
+    def skip_entry_bits(self) -> int:
+        """82 bits per skip-table entry."""
+        return self.pc_bits + self.warp_mask_bits + self.is_load_bits + self.leader_wb_bits
+
+    @property
+    def skip_table_entries(self) -> int:
+        """256 entries per SM."""
+        return self.skip_entries_per_tb * self.tbs_per_sm
+
+    @property
+    def skip_table_bits(self) -> int:
+        return self.skip_entry_bits * self.skip_table_entries
+
+    @property
+    def skip_table_bytes(self) -> int:
+        """2624 bytes (the paper rounds 20992 bits / 8)."""
+        return self.skip_table_bits // 8
+
+    @property
+    def majority_mask_bits(self) -> int:
+        """1024 bits = 128 bytes."""
+        return self.majority_mask_bits_per_tb * self.tbs_per_sm
+
+    @property
+    def majority_mask_bytes(self) -> int:
+        return self.majority_mask_bits // 8
+
+    @property
+    def rename_entry_bits(self) -> int:
+        """21 bits per rename/version-table entry."""
+        return self.named_reg_bits + self.phys_tag_bits + self.version_bits
+
+    @property
+    def rename_table_bits(self) -> int:
+        return self.rename_entry_bits * self.rename_entries_per_tb * self.tbs_per_sm
+
+    @property
+    def rename_table_bytes(self) -> int:
+        """2688 bytes."""
+        return self.rename_table_bits // 8
+
+    @property
+    def total_bytes(self) -> int:
+        return self.skip_table_bytes + self.majority_mask_bytes + self.rename_table_bytes
+
+    @property
+    def total_kb(self) -> float:
+        """5.31 kB (Section 6.3)."""
+        return self.total_bytes / 1024.0
+
+    @property
+    def fraction_of_register_file(self) -> float:
+        """~2.1 % of the Pascal register file."""
+        return self.total_bytes / self.register_file_bytes
+
+    def report(self) -> str:
+        lines = [
+            "DARSIE area estimate (Section 6.3)",
+            f"  skip table entry        : {self.skip_entry_bits} bits",
+            f"  skip table ({self.skip_table_entries} entries) : "
+            f"{self.skip_table_bits} bits = {self.skip_table_bytes} bytes",
+            f"  majority path masks     : {self.majority_mask_bits} bits = "
+            f"{self.majority_mask_bytes} bytes",
+            f"  rename entry            : {self.rename_entry_bits} bits",
+            f"  rename/version tables   : {self.rename_table_bits} bits = "
+            f"{self.rename_table_bytes} bytes",
+            f"  total                   : {self.total_kb:.2f} kB "
+            f"({self.fraction_of_register_file:.1%} of the register file)",
+        ]
+        return "\n".join(lines)
+
+
+def paper_area_model() -> AreaModel:
+    """The exact configuration Section 6.3 evaluates."""
+    return AreaModel()

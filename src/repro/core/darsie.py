@@ -1,0 +1,606 @@
+"""DARSIE's fetch-stage instruction skipper (Sections 4.1, 4.3–4.5).
+
+The frontend ties together the PC skip table, the PC coalescer, the
+register rename/version unit and the majority-path mask:
+
+- The first majority-path warp to reach a skippable PC becomes the
+  **leader**: it fetches and executes the instruction normally; at
+  writeback a new register version is created and the entry's LeaderWB
+  bit is set (Section 4.3.5).
+- **Follower** warps reaching the PC afterwards skip it entirely —
+  their PC is incremented by 8 without touching the fetch scheduler or
+  the I-cache — and their rename mapping advances to the leader's
+  version.  Skips are arbitrated by the PC coalescer under the skip
+  table's port budget.
+- **Branches force a TB-wide barrier** among majority-path warps so all
+  skipping warps share one control-flow history; warps that take the
+  minority direction, or diverge at SIMD granularity, leave the majority
+  path and stop skipping (``DARSIE-NO-CF-SYNC`` disables the barrier and
+  detects deviation without waiting — the idealised Figure 12 variant).
+- **Stores and global communication invalidate skipped loads**
+  (Section 4.4); warps that had not yet consumed an invalidated entry
+  execute the load privately (``DARSIE-IGNORE-STORE`` disables this —
+  the Figure 8 variant).
+- When the **rename freelist empties**, the entry becomes a TB
+  synchronization point: all majority warps gather at the PC so stale
+  versions can be reclaimed (Section 4.3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.coalescer import PCCoalescer
+from repro.core.majority import MajorityPathMask
+from repro.core.promotion import promote_markings
+from repro.core.rename import RegisterRenameUnit, RenameError
+from repro.core.skip_table import PCSkipTable, SkipTableEntry
+from repro.core.taxonomy import Marking
+from repro.isa.instructions import INSTRUCTION_BYTES, Instruction
+from repro.isa.operands import MemSpace, Register
+from repro.timing.core import IBufferEntry
+from repro.timing.frontend import FetchAction, Frontend
+from repro.timing.stats import EnergyEvent
+
+
+@dataclass(frozen=True)
+class DarsieConfig:
+    """DARSIE feature knobs (paper defaults)."""
+
+    #: skip-table entries allocated per TB (Section 6.3)
+    skip_entries_per_tb: int = 8
+    #: rename registers per TB (Section 4.3.1)
+    rename_regs_per_tb: int = 32
+    #: skip-table ports after PC coalescing (Section 4.3.4)
+    skip_ports: int = 2
+    #: DARSIE-IGNORE-STORE: keep load entries across stores (Figure 8)
+    ignore_store: bool = False
+    #: DARSIE-NO-CF-SYNC: no TB barrier at branches (Figure 12)
+    no_cf_sync: bool = False
+    #: ablation: synchronize the TB on every redundant write instead of
+    #: versioning (Section 4.1, rejected option 1)
+    sync_on_write: bool = False
+
+
+class _TBState:
+    """Per-threadblock DARSIE hardware state."""
+
+    def __init__(self, num_warps: int, cfg: DarsieConfig, rf_banks: int):
+        self.table = PCSkipTable(capacity=cfg.skip_entries_per_tb)
+        self.rename = RegisterRenameUnit(
+            num_warps, freelist_size=cfg.rename_regs_per_tb, rf_banks=rf_banks
+        )
+        self.majority = MajorityPathMask(num_warps)
+        #: branch-barrier bookkeeping: pc -> {warp_id: (post_pc, simd_div)}
+        self.branch_wait: Dict[int, Dict[int, Tuple[int, bool]]] = {}
+        #: NO-CF-SYNC: first-recorded outcome per (pc, instance)
+        self.branch_outcomes: Dict[Tuple[int, int], int] = {}
+        #: per-warp branch instance counters (NO-CF-SYNC)
+        self.branch_count: Dict[Tuple[int, int], int] = {}
+        #: per-warp pending leader writes: key -> FIFO of reserved versions
+        self.pending_leader: Dict[int, Dict[tuple, list]] = {}
+
+
+def _dest_key(inst: Instruction) -> Optional[tuple]:
+    dreg = inst.dest_register()
+    if dreg is not None:
+        return ("r", dreg.name)
+    dpred = inst.dest_predicate()
+    if dpred is not None:
+        return ("p", dpred.name)
+    return None
+
+
+class DarsieFrontend(Frontend):
+    """The DARSIE instruction skipper, plugged into the SM frontend."""
+
+    name = "DARSIE"
+
+    def __init__(self, analysis, config: Optional[DarsieConfig] = None):
+        self.analysis = analysis
+        self.cfg = config or DarsieConfig()
+        if self.cfg.ignore_store:
+            self.name = "DARSIE-IGNORE-STORE"
+        if self.cfg.no_cf_sync:
+            self.name = "DARSIE-NO-CF-SYNC"
+        self.skip_pcs: Set[int] = set()
+        self.promoted: Dict[int, Marking] = {}
+        self._global_loads_disabled = False
+        self._leader_pending_fetch: Dict[Tuple[int, int], int] = {}
+        self.coalescer = PCCoalescer(ports=self.cfg.skip_ports)
+
+    # -- setup -------------------------------------------------------------
+
+    def bind(self, sm) -> None:
+        super().bind(sm)
+        self.promoted = promote_markings(
+            self.analysis.instruction_markings, sm.ctx.launch
+        )
+        self.skip_pcs = self.analysis.skippable_pcs(self.promoted)
+        if sm.ctx.launch.warps_per_block < 2:
+            # A single-warp TB has no followers to share with: skipping
+            # would be pure overhead (leader election, versioning) for
+            # zero elimination.  The launch-time check disables it.
+            self.skip_pcs = set()
+        self.program = sm.ctx.program
+
+    def on_tb_launch(self, tb_rt) -> None:
+        tb_rt.frontend_state = _TBState(
+            num_warps=len(tb_rt.warps),
+            cfg=self.cfg,
+            rf_banks=self.sm.config.rf_banks,
+        )
+
+    # -- helpers --------------------------------------------------------------
+
+    def _st(self, tb_rt) -> _TBState:
+        return tb_rt.frontend_state
+
+    def _eligible(self, wrt) -> bool:
+        st = self._st(wrt.tb_rt)
+        return (
+            not wrt.exited
+            and st.majority.is_on_path(wrt.warp.warp_id)
+            and not wrt.warp.has_simd_divergence
+        )
+
+    def _skippable_here(self, wrt, pc: int) -> bool:
+        if pc not in self.skip_pcs:
+            return False
+        if pc in wrt.bypass_pcs:
+            return False
+        inst = self.program.at(pc)
+        if (
+            inst.is_load
+            and inst.mem.space is MemSpace.GLOBAL
+            and self._global_loads_disabled
+        ):
+            return False
+        return self._eligible(wrt)
+
+    def _bypass_pending(self, tb_rt, pc: int) -> bool:
+        return any(pc in w.bypass_pcs for w in tb_rt.warps if not w.exited)
+
+    # -- the skip engine (runs in parallel with the fetch scheduler) ----------
+
+    def fetch_cycle(self, cycle: int) -> None:
+        self._leader_pending_fetch = {
+            k: pc for k, pc in self._leader_pending_fetch.items()
+        }
+        candidates: List[Tuple[tuple, tuple]] = []
+        warp_of: Dict[tuple, object] = {}
+        for tb_rt in self.sm.tbs:
+            st = self._st(tb_rt)
+            for wrt in tb_rt.warps:
+                if wrt.exited:
+                    continue
+                wid = (tb_rt.seq, wrt.warp.warp_id)
+                pc = wrt.fetch_pc
+                if not wrt.fetch_ready() or not self._skippable_here(wrt, pc):
+                    wrt.skip_blocked = False
+                    self._leader_pending_fetch.pop(wid, None)
+                    continue
+                if self._leader_pending_fetch.get(wid) == pc:
+                    continue  # already elected; waiting for the fetch stage
+                state = self._classify(cycle, tb_rt, st, wrt, pc)
+                if state == "skip":
+                    candidates.append((wid, (tb_rt.seq, pc)))
+                    warp_of[wid] = (tb_rt, wrt)
+                    wrt.skip_blocked = True  # released below if serviced
+                elif state == "wait":
+                    if not wrt.skip_blocked:
+                        # One probe per arrival; the warps-waiting bitmask
+                        # parks the warp without re-probing (4.3.2).
+                        self.sm.stats.count(EnergyEvent.SKIP_TABLE_PROBE)
+                    wrt.skip_blocked = True
+                elif state == "lead":
+                    wrt.skip_blocked = False
+                    self._leader_pending_fetch[wid] = pc
+                else:  # "fetch" — execute privately
+                    wrt.skip_blocked = False
+
+        if not candidates:
+            return
+        serviced, _deferred = self.coalescer.arbitrate(candidates)
+        self.sm.stats.count(EnergyEvent.PC_COALESCER)
+        for (tb_seq, pc), wids in serviced:
+            for wid in wids:
+                tb_rt, wrt = warp_of[wid]
+                self._perform_skip(tb_rt, wrt, pc)
+
+    def _classify(self, cycle, tb_rt, st: _TBState, wrt, pc: int) -> str:
+        """Decide what a majority-path warp at skippable ``pc`` does."""
+        warp_id = wrt.warp.warp_id
+        key = _dest_key(self.program.at(pc))
+        assert key is not None
+        expected = st.rename.count(warp_id, key) + 1
+        entry = st.table.lookup(pc, now=cycle)
+        if entry is None:
+            if self._bypass_pending(tb_rt, pc):
+                # A previous instance of this PC was invalidated and some
+                # warps must still execute it privately; hold off new
+                # leaders until they do (instances serialize).
+                return "wait"
+            inst = self.program.at(pc)
+            sync_required = (not st.rename.can_allocate()) or self.cfg.sync_on_write
+            if st.table.full:
+                victim = st.table.eviction_victim()
+                if victim is None:
+                    return "fetch"  # nothing evictable: execute privately
+                # Dynamic replacement (Section 6.3): warps that have not
+                # consumed the victim execute its instruction privately.
+                self._cancel_entry(tb_rt, st, victim)
+            entry = st.table.insert(
+                pc,
+                leader_warp=warp_id,
+                is_load=inst.is_load,
+                now=cycle,
+                sync_required=sync_required,
+            )
+            if entry is None:
+                return "fetch"  # table full: execute privately, no skip
+            entry.instance = expected
+            self.sm.stats.count(EnergyEvent.SKIP_TABLE_WRITE)
+            if sync_required:
+                entry.warps_waiting.add(warp_id)
+                self._maybe_release_sync(tb_rt, st, entry)
+                if entry.sync_required:
+                    return "wait"
+            return "lead"
+        if expected > entry.instance:
+            # The warp already covered this instance (skipped it, or
+            # executed it privately after a cancellation); it is at a
+            # *later* instance — wait for the entry to retire.
+            return "wait"
+        if expected < entry.instance:
+            # The warp missed instances that no longer have entries
+            # (cancelled while it was away): catch up privately, one
+            # instance per arrival.
+            return "fetch"
+        if entry.sync_required:
+            entry.warps_waiting.add(warp_id)
+            self._maybe_release_sync(tb_rt, st, entry)
+            if entry.sync_required:
+                return "wait"
+            # Fall through: sync released; re-classify below.
+        if entry.leader_warp == warp_id:
+            return "lead" if not entry.leader_wb else "wait"
+        if not entry.leader_wb:
+            return "wait"
+        return "skip"
+
+    def _maybe_release_sync(self, tb_rt, st: _TBState, entry: SkipTableEntry) -> None:
+        members = set(st.majority.members())
+        key = _dest_key(self.program.at(entry.pc))
+        # Warps already past this instance never arrive here again; only
+        # the ones still needing it must gather.
+        required = {m for m in members if st.rename.count(m, key) < entry.instance}
+        if not required or not (entry.warps_waiting >= required):
+            return
+        self.sm.stats.freelist_syncs += 1
+        # Everyone is aligned at this PC; any still-pinned old versions
+        # belong to nobody and have been reclaimed by the advancing
+        # warps.  If rename space is still unavailable, cancel the entry
+        # and let the whole TB execute this instance privately.
+        if st.rename.can_allocate() or self.cfg.sync_on_write:
+            entry.sync_required = False
+            entry.warps_waiting.clear()
+            for w in tb_rt.warps:
+                if w.warp.warp_id in members:
+                    w.skip_blocked = False
+        else:
+            self._cancel_entry(tb_rt, st, entry)
+
+    def _cancel_entry(self, tb_rt, st: _TBState, entry: SkipTableEntry) -> None:
+        """Remove an entry before all majority warps consumed it; the
+        remaining warps execute the instruction privately (one-shot)."""
+        st.table.remove(entry.pc)
+        key = _dest_key(self.program.at(entry.pc))
+        members = set(st.majority.members())
+        for w in tb_rt.warps:
+            wid = w.warp.warp_id
+            if wid in members and st.rename.count(wid, key) < entry.instance:
+                w.bypass_pcs.add(entry.pc)
+                w.skip_blocked = False
+
+    def _perform_skip(self, tb_rt, wrt, pc: int) -> None:
+        st = self._st(tb_rt)
+        entry = st.table.lookup(pc)
+        if entry is None or not entry.leader_wb:
+            wrt.skip_blocked = True
+            return
+        inst = self.program.at(pc)
+        key = _dest_key(inst)
+        assert key is not None
+        vv = st.rename.follower_skip(wrt.warp.warp_id, key)
+        stats = self.sm.stats
+        stats.follower_skips += 1
+        stats.instructions_skipped += 1
+        stats.skipped_by_class[vv.kind] += 1
+        stats.count(EnergyEvent.SKIP_TABLE_PROBE)
+        stats.count(EnergyEvent.RENAME_WRITE)
+        stats.count(EnergyEvent.VERSION_TABLE)
+        entry.warps_done.add(wrt.warp.warp_id)
+        wrt.fetch_pc = pc + INSTRUCTION_BYTES
+        wrt.skip_blocked = False
+        if self.sm.pipeline_trace is not None:
+            self.sm.pipeline_trace.record(
+                self.sm.cycle, self.sm.sm_id, tb_rt.tb.tb_index,
+                wrt.warp.warp_id, "S", pc,
+            )
+        # Architectural PC must advance past the skipped instruction *in
+        # program order*: enqueue a zero-cost skip token that bumps the
+        # PC when it reaches the head of the I-buffer.
+        wrt.ibuffer.append(IBufferEntry(inst=inst, skip_token=True))
+        self._maybe_retire(st, entry)
+
+    def _maybe_retire(self, st: _TBState, entry: SkipTableEntry) -> None:
+        if not entry.leader_wb:
+            return
+        key = _dest_key(self.program.at(entry.pc))
+        if all(
+            st.rename.count(wid, key) >= entry.instance
+            for wid in st.majority.members()
+        ):
+            st.table.remove(entry.pc)
+
+    # -- fetch-stage integration --------------------------------------------------
+
+    def filter_fetch(self, wrt, pc: int) -> FetchAction:
+        if not self._skippable_here(wrt, pc):
+            return FetchAction.FETCH
+        wid = (wrt.tb_rt.seq, wrt.warp.warp_id)
+        if self._leader_pending_fetch.get(wid) == pc:
+            return FetchAction.FETCH_LEADER
+        if wrt.skip_blocked:
+            return FetchAction.WAIT
+        return FetchAction.HANDLED
+
+    def on_fetch(self, wrt, inst, is_leader: bool) -> Optional[Dict]:
+        st = self._st(wrt.tb_rt)
+        warp_id = wrt.warp.warp_id
+        if is_leader:
+            self._leader_pending_fetch.pop((wrt.tb_rt.seq, warp_id), None)
+
+        overrides = self._capture_sources(st, wrt, inst)
+
+        key = _dest_key(inst)
+        if key is not None:
+            pending = st.pending_leader.setdefault(warp_id, {})
+            if is_leader:
+                # Reserve the version number in fetch order; the value is
+                # produced at writeback.  WAW scoreboarding keeps same-key
+                # writebacks in program order, so a FIFO per key suffices.
+                version = st.rename.reserve_version(warp_id, key)
+                pending.setdefault(key, []).append(version)
+            elif inst.pc in self.skip_pcs and st.majority.is_on_path(warp_id):
+                # Skippable instance executed privately (bypass / table
+                # full): advance this warp's write count to stay aligned.
+                st.rename.private_instance_write(warp_id, key)
+            else:
+                st.rename.private_write(warp_id, key)
+        return overrides
+
+    def _capture_sources(self, st: _TBState, wrt, inst) -> Optional[Dict]:
+        """Capture renamed source values in fetch order (Section 4.3.1:
+        the rename table is probed prior to the baseline mapping)."""
+        warp_id = wrt.warp.warp_id
+        pending = st.pending_leader.get(warp_id, {})
+        regs: Dict[str, np.ndarray] = {}
+        preds: Dict[str, np.ndarray] = {}
+        banks: List[int] = []
+        for reg in inst.source_registers():
+            key = ("r", reg.name)
+            if pending.get(key):
+                continue  # an older in-flight leader write supersedes
+            vv = st.rename.read(warp_id, key)
+            if vv is not None:
+                regs[reg.name] = vv.value
+                banks.append(st.rename.bank_of(vv.preg))
+        for pred in inst.source_predicates():
+            key = ("p", pred.name)
+            if pending.get(key):
+                continue
+            vv = st.rename.read(warp_id, key)
+            if vv is not None:
+                preds[pred.name] = vv.value.astype(bool)
+                banks.append(st.rename.bank_of(vv.preg))
+        if not regs and not preds:
+            return None
+        self.sm.stats.count(EnergyEvent.RENAME_READ, len(regs) + len(preds))
+        self.sm.stats.count(EnergyEvent.VERSION_TABLE, len(regs) + len(preds))
+        return {"regs": regs, "preds": preds, "banks": banks}
+
+    # -- writeback: LeaderWB ------------------------------------------------------
+
+    def on_writeback(self, wrt, inst, meta) -> None:
+        if not meta.get("is_leader"):
+            return
+        st = self._st(wrt.tb_rt)
+        warp_id = wrt.warp.warp_id
+        key = _dest_key(inst)
+        pending = st.pending_leader.get(warp_id, {})
+        version = None
+        if key is not None and pending.get(key):
+            version = pending[key].pop(0)
+            if not pending[key]:
+                del pending[key]
+        entry = st.table.lookup(inst.pc)
+        result = meta["result"]
+        if (
+            entry is not None
+            and entry.leader_warp == warp_id
+            and not entry.leader_wb
+            and result.dest_value is not None
+            and version is not None
+            and st.rename.can_allocate()
+        ):
+            vv = st.rename.leader_write(
+                warp_id,
+                key,
+                version,
+                np.asarray(result.dest_value),
+                is_pred=inst.dest_predicate() is not None,
+                members=st.majority.members(),
+            )
+            entry.leader_wb = True
+            entry.warps_done.add(warp_id)
+            stats = self.sm.stats
+            stats.leaders_elected += 1
+            stats.count(EnergyEvent.RENAME_WRITE)
+            stats.count(EnergyEvent.VERSION_TABLE)
+            self._maybe_retire(st, entry)
+        else:
+            # Entry invalidated (store) or rename space raced away: the
+            # instance was effectively executed privately.  The write
+            # count already advanced at reserve_version (fetch time);
+            # just cancel the entry so followers execute it themselves.
+            if entry is not None and entry.leader_warp == warp_id and not entry.leader_wb:
+                self._cancel_entry(wrt.tb_rt, st, entry)
+
+    # -- branches & majority path ------------------------------------------------
+
+    def blocks_after_branch(self, wrt, inst) -> bool:
+        tb_rt = wrt.tb_rt
+        st = self._st(tb_rt)
+        warp_id = wrt.warp.warp_id
+        if not self.skip_pcs or not st.majority.is_on_path(warp_id):
+            return False
+        post_pc = wrt.warp.pc
+        simd_div = wrt.warp.has_simd_divergence
+        if self.cfg.no_cf_sync:
+            count = st.branch_count.get((warp_id, inst.pc), 0)
+            st.branch_count[(warp_id, inst.pc)] = count + 1
+            outcome_key = (inst.pc, count)
+            expected = st.branch_outcomes.setdefault(outcome_key, post_pc)
+            if simd_div or post_pc != expected:
+                self._leave_path(tb_rt, wrt)
+            return False
+        waiters = st.branch_wait.setdefault(inst.pc, {})
+        waiters[warp_id] = (post_pc, simd_div)
+        self.sm.stats.count(EnergyEvent.MAJORITY_MASK)
+        return not self._maybe_release_branch(tb_rt, st, inst.pc)
+
+    def _maybe_release_branch(self, tb_rt, st: _TBState, pc: int) -> bool:
+        waiters = st.branch_wait.get(pc)
+        if waiters is None:
+            return True
+        members = set(st.majority.members())
+        if not (set(waiters) >= members):
+            return False
+        # Claim the wait record before processing: _leave_path re-enters
+        # this function through _recheck.
+        del st.branch_wait[pc]
+        # Majority vote among the warps that are still SIMD-convergent.
+        votes: Dict[int, int] = {}
+        for wid in members:
+            post_pc, simd_div = waiters[wid]
+            if not simd_div:
+                votes[post_pc] = votes.get(post_pc, 0) + 1
+        winner = max(votes, key=lambda p: (votes[p], -p)) if votes else None
+        for w in tb_rt.warps:
+            wid = w.warp.warp_id
+            if wid not in waiters:
+                continue
+            if wid in members:
+                post_pc, simd_div = waiters[wid]
+                if simd_div or post_pc != winner:
+                    self._leave_path(tb_rt, w)
+            if not w.exited:
+                w.branch_sync_blocked = False
+                w.resync_fetch()
+        self.sm.stats.branch_barriers += 1
+        return True
+
+    def _leave_path(self, tb_rt, wrt) -> None:
+        """Section 4.3.5: a warp leaving the majority path copies its
+        redundant register values into warp-private space and clears its
+        rename state."""
+        st = self._st(tb_rt)
+        warp_id = wrt.warp.warp_id
+        for mat in st.rename.clear_warp(warp_id):
+            kind, name = mat.key
+            if kind == "r":
+                wrt.warp.registers.write(name, mat.value)
+            else:
+                wrt.warp.registers.write_pred(name, mat.value)
+            self.sm.stats.count(EnergyEvent.RF_WRITE)
+        st.majority.clear(warp_id)
+        self.sm.stats.warps_left_majority += 1
+        self._recheck(tb_rt, st)
+
+    def _recheck(self, tb_rt, st: _TBState) -> None:
+        """Majority membership shrank: barriers, syncs and entries may
+        now be releasable."""
+        for pc in list(st.branch_wait):
+            self._maybe_release_branch(tb_rt, st, pc)
+        for entry in st.table.entries():
+            if entry.sync_required:
+                self._maybe_release_sync(tb_rt, st, entry)
+            self._maybe_retire(st, entry)
+
+    # -- TB-wide events -----------------------------------------------------------
+
+    def on_syncthreads(self, tb_rt) -> None:
+        if not self.skip_pcs:
+            return
+        st = self._st(tb_rt)
+        for warp_id, mats in st.rename.reset_all().items():
+            wrt = tb_rt.warps[warp_id]
+            for mat in mats:
+                kind, name = mat.key
+                if kind == "r":
+                    wrt.warp.registers.write(name, mat.value)
+                else:
+                    wrt.warp.registers.write_pred(name, mat.value)
+                self.sm.stats.count(EnergyEvent.RF_WRITE)
+        for entry in st.table.entries():
+            st.table.remove(entry.pc)
+        st.branch_wait.clear()
+        st.pending_leader.clear()
+        st.majority.reset_at_syncthreads()
+        self.sm.stats.count(EnergyEvent.MAJORITY_MASK)
+        for w in tb_rt.warps:
+            w.skip_blocked = False
+            w.bypass_pcs.clear()
+
+    def on_warp_exit(self, wrt) -> None:
+        tb_rt = wrt.tb_rt
+        st = self._st(tb_rt)
+        warp_id = wrt.warp.warp_id
+        st.rename.clear_warp(warp_id)
+        st.majority.warp_exited(warp_id)
+        self._recheck(tb_rt, st)
+
+    # -- memory-dependence events ---------------------------------------------
+
+    def on_store(self, tb_rt) -> None:
+        if self.cfg.ignore_store:
+            return
+        st = self._st(tb_rt)
+        removed = st.table.invalidate_loads()
+        self.sm.stats.load_entries_invalidated += len(removed)
+        members = set(st.majority.members())
+        for entry in removed:
+            for w in tb_rt.warps:
+                wid = w.warp.warp_id
+                if wid in members and wid not in entry.warps_done:
+                    w.bypass_pcs.add(entry.pc)
+                    w.skip_blocked = False
+
+    def on_global_communication(self) -> None:
+        self._global_loads_disabled = True
+        for tb_rt in self.sm.tbs:
+            st = self._st(tb_rt)
+            removed = st.table.invalidate_loads()
+            self.sm.stats.load_entries_invalidated += len(removed)
+            members = set(st.majority.members())
+            for entry in removed:
+                for w in tb_rt.warps:
+                    wid = w.warp.warp_id
+                    if wid in members and wid not in entry.warps_done:
+                        w.bypass_pcs.add(entry.pc)
+                        w.skip_blocked = False

@@ -1,0 +1,50 @@
+"""Majority-path mask (Section 4.3.3).
+
+One bit per warp of a TB indicates whether the warp is executing on the
+TB-majority control-flow path.  Warps that deviate (or suffer SIMD
+divergence, Section 4.5) have their bit cleared and stop participating
+in instruction skipping.  ``syncthreads`` sets all live warps' bits back
+to one, since the whole TB is in sync again.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+
+class MajorityPathMask:
+    """Per-TB majority-path bookkeeping."""
+
+    def __init__(self, num_warps: int):
+        self.num_warps = num_warps
+        self._on_path: Set[int] = set(range(num_warps))
+        self._exited: Set[int] = set()
+
+    def is_on_path(self, warp_id: int) -> bool:
+        return warp_id in self._on_path
+
+    def clear(self, warp_id: int) -> None:
+        """Warp left the majority path (divergence)."""
+        self._on_path.discard(warp_id)
+
+    def warp_exited(self, warp_id: int) -> None:
+        """An exited warp neither skips nor blocks synchronization."""
+        self._exited.add(warp_id)
+        self._on_path.discard(warp_id)
+
+    def reset_at_syncthreads(self) -> None:
+        """All bits set back to one at a TB-wide ``bar.sync``."""
+        self._on_path = set(range(self.num_warps)) - self._exited
+
+    def members(self) -> List[int]:
+        return sorted(self._on_path)
+
+    @property
+    def count(self) -> int:
+        return len(self._on_path)
+
+    def bitmask(self) -> int:
+        mask = 0
+        for w in self._on_path:
+            mask |= 1 << w
+        return mask

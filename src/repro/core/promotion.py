@@ -1,0 +1,73 @@
+"""Kernel-launch-time promotion of conditional redundancy (Section 4.2).
+
+"Conditionally redundant instructions are evaluated at kernel launch time
+based on the kernel's specified TB size, and are static for the duration
+of the kernel. ... the check simply tests if the kernel has 2D TBs, and
+that the width of the x-dimension is a power of 2, and less than or equal
+to the warp size.  If so, conditionally redundant instructions are marked
+as definitely redundant, or are otherwise marked as true vector
+instructions."
+
+The paper notes this can live in the driver's JIT finalisation pass or in
+a small hardware comparator (which also covers dynamic parallelism); both
+reduce to the same pure function, implemented here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.taxonomy import Marking
+from repro.simt.grid import (
+    Dim3,
+    LaunchConfig,
+    tidx_is_tb_redundant,
+    tidy_is_tb_redundant,
+)
+
+
+def promotion_applies(launch: LaunchConfig) -> bool:
+    """True when this launch's TB dimensions make ``tid.x`` TB-redundant."""
+    return tidx_is_tb_redundant(launch.block_dim, launch.warp_size)
+
+
+def promotion_applies_y(launch: LaunchConfig) -> bool:
+    """3D extension: true when ``tid.y`` is TB-redundant for this launch."""
+    return tidy_is_tb_redundant(launch.block_dim, launch.warp_size)
+
+
+def promote_markings(
+    markings: Dict[int, Marking], launch: LaunchConfig
+) -> Dict[int, Marking]:
+    """Finalise static markings for a concrete launch.
+
+    Returns a new marking map in which every CONDITIONAL entry has been
+    promoted to REDUNDANT (criterion met) or demoted to VECTOR
+    (criterion not met); CONDITIONAL_Y entries (3D extension) resolve
+    under the stricter ``x*y`` criterion.  DR and V markings pass
+    through unchanged.
+    """
+    resolved_x = Marking.REDUNDANT if promotion_applies(launch) else Marking.VECTOR
+    resolved_y = Marking.REDUNDANT if promotion_applies_y(launch) else Marking.VECTOR
+
+    def resolve(mark: Marking) -> Marking:
+        if mark is Marking.CONDITIONAL:
+            return resolved_x
+        if mark is Marking.CONDITIONAL_Y:
+            return resolved_y
+        return mark
+
+    return {pc: resolve(mark) for pc, mark in markings.items()}
+
+
+def describe_promotion(launch: LaunchConfig) -> str:
+    """Human-readable explanation of the launch-time decision."""
+    bd: Dim3 = launch.block_dim
+    if promotion_applies(launch):
+        return (
+            f"TB {bd} is multi-dimensional with x={bd.x} a power of two "
+            f"<= warp size {launch.warp_size}: CR instructions promoted to DR"
+        )
+    return (
+        f"TB {bd} fails the promotion criterion: CR instructions demoted to vector"
+    )

@@ -1,0 +1,128 @@
+"""The GPU redundancy taxonomy of Section 2, and the marking lattice.
+
+Two related classifications live here:
+
+1. :class:`RedundancyClass` — *dynamic* (value-level) classification of a
+   TB-redundant instruction: uniform, affine or unstructured.  Used by
+   the limit studies (Figures 1, 2) and the per-class instruction
+   reduction breakdowns (Figures 9, 10).
+
+2. :class:`Marking` — *static* classification attached to instructions by
+   the compiler pass: definitely redundant, conditionally redundant or
+   true vector.  Uniform redundancy is always definitely redundant;
+   affine and unstructured redundancy are conditionally redundant
+   (Section 4.2).
+
+The meet rule of the compiler pass ("if more than one of our three
+redundancy definitions reaches a source operand, we assign the weakest")
+is :func:`Marking.meet` — VECTOR < CONDITIONAL < REDUNDANT.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Tuple
+
+from repro.simt.tracer import (
+    AFFINE,
+    NONE,
+    UNIFORM,
+    UNSTRUCTURED,
+    DynamicInstruction,
+)
+
+
+class Marking(enum.IntEnum):
+    """Static redundancy marking (ordered: lower is weaker).
+
+    The paper uses three states; CONDITIONAL_Y is this repository's
+    implementation of the paper's 3D extension ("These observations also
+    apply to 3D TBs, where both the tid.x and tid.y registers can be
+    conditionally redundant", Section 2).  Its promotion criterion
+    (``x*y`` a power of two ≤ the warp size, 3D TB) *implies* the tid.x
+    criterion, so the lattice stays linear: a value mixing tid.x- and
+    tid.y-conditional inputs is redundant exactly when the stricter
+    (tid.y) condition holds, which is what the meet computes.
+    """
+
+    VECTOR = 0
+    CONDITIONAL_Y = 1
+    CONDITIONAL = 2
+    REDUNDANT = 3
+
+    @staticmethod
+    def meet(a: "Marking", b: "Marking") -> "Marking":
+        """The weakest of two markings (paper's combination rule)."""
+        return a if a <= b else b
+
+    @property
+    def short(self) -> str:
+        return {
+            Marking.VECTOR: "V",
+            Marking.CONDITIONAL_Y: "CRy",
+            Marking.CONDITIONAL: "CR",
+            Marking.REDUNDANT: "DR",
+        }[self]
+
+
+class RedundancyClass(enum.Enum):
+    """Dynamic classification of one TB-wide instruction instance."""
+
+    UNIFORM = "uniform"
+    AFFINE = "affine"
+    UNSTRUCTURED = "unstructured"
+    NON_REDUNDANT = "non-redundant"
+
+
+def classify_group(
+    records: List[DynamicInstruction], expected_warps: int
+) -> RedundancyClass:
+    """Classify one (tb, pc, occurrence) group of warp executions.
+
+    A group is TB-redundant only when *every* warp of the TB executed
+    this dynamic instance, none with SIMD divergence ("instructions
+    executed in diverged control flow are considered non-redundant",
+    Figure 2 caption), and all produced identical value summaries.  The
+    sub-class follows the shared summary's pattern kind.
+    """
+    if len(records) != expected_warps:
+        return RedundancyClass.NON_REDUNDANT
+    first = records[0].summary
+    if first.kind == NONE:
+        return RedundancyClass.NON_REDUNDANT
+    for rec in records:
+        if rec.divergent or rec.summary != first:
+            return RedundancyClass.NON_REDUNDANT
+    if first.kind == UNIFORM:
+        return RedundancyClass.UNIFORM
+    if first.kind == AFFINE:
+        return RedundancyClass.AFFINE
+    assert first.kind == UNSTRUCTURED
+    return RedundancyClass.UNSTRUCTURED
+
+
+def classify_tb_groups(
+    groups: Iterable[Tuple[tuple, List[DynamicInstruction]]],
+    expected_warps: int,
+) -> Dict[RedundancyClass, int]:
+    """Count executed instructions per redundancy class over TB groups.
+
+    Each group contributes ``len(records)`` executed instructions (every
+    warp fetched and executed its copy in the baseline).
+    """
+    counts = {cls: 0 for cls in RedundancyClass}
+    for _key, records in groups:
+        cls = classify_group(records, expected_warps)
+        counts[cls] += len(records)
+    return counts
+
+
+#: Mapping from dynamic class to the static marking that identifies it
+#: (Section 4.2: uniform values are definitely redundant, affine and
+#: unstructured values are conditionally redundant).
+STATIC_MARKING_OF_CLASS = {
+    RedundancyClass.UNIFORM: Marking.REDUNDANT,
+    RedundancyClass.AFFINE: Marking.CONDITIONAL,
+    RedundancyClass.UNSTRUCTURED: Marking.CONDITIONAL,
+    RedundancyClass.NON_REDUNDANT: Marking.VECTOR,
+}

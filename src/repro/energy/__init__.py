@@ -1,0 +1,8 @@
+"""Event-based energy model (GPUWattch-style accounting).
+
+See :mod:`repro.energy.model`.
+"""
+
+from repro.energy.model import EnergyModel, EnergyBreakdown, PASCAL_ENERGY_MODEL
+
+__all__ = ["EnergyModel", "EnergyBreakdown", "PASCAL_ENERGY_MODEL"]

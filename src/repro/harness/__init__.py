@@ -1,0 +1,17 @@
+"""Experiment harness: one driver per paper table/figure.
+
+- :mod:`repro.harness.runner` — builds workloads, runs them under named
+  configurations (BASE / UV / DAC-IDEAL / DARSIE / variants) and
+  verifies every run against its numpy oracle.
+- :mod:`repro.harness.experiments` — ``figure1`` ... ``figure12``,
+  ``table1`` ... ``table3``, ``area_estimate``, ``survey``: each returns
+  a structured result with a ``render()`` text form printing the same
+  rows/series the paper reports.
+- :mod:`repro.harness.reporting` — plain-text table rendering.
+"""
+
+from repro.harness.runner import CONFIG_NAMES, RunResult, WorkloadRunner
+from repro.harness import experiments
+from repro.harness.reporting import format_table
+
+__all__ = ["CONFIG_NAMES", "RunResult", "WorkloadRunner", "experiments", "format_table"]

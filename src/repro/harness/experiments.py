@@ -1,0 +1,474 @@
+"""One driver per paper table / figure.
+
+Every driver returns a small result object whose ``render()`` prints the
+same rows/series the paper reports, and whose fields are plain data so
+tests and benches can assert on the reproduced *shape* (who wins, by
+roughly what factor) without parsing text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis import (
+    default_survey,
+    geomean,
+    redundancy_levels,
+    taxonomy_breakdown,
+)
+from repro.analysis.limit_study import LevelBreakdown, average_levels
+from repro.analysis.taxonomy_study import TaxonomyBreakdown
+from repro.core import analyze_program, paper_area_model, promote_markings
+from repro.harness.related_work import render_table3
+from repro.harness.reporting import fmt_pct, fmt_x, format_table
+from repro.harness.runner import WorkloadRunner, get_runner, make_runners
+from repro.timing import GPUConfig, PASCAL_GTX1080TI, small_config
+from repro.workloads import (
+    ALL_ABBRS,
+    ONE_D_ABBRS,
+    TWO_D_ABBRS,
+    build_workload,
+    table1_rows,
+)
+
+#: Figure 8 configurations, in the paper's legend order.
+FIG8_CONFIGS = ("BASE", "UV", "DAC-IDEAL", "DARSIE", "DARSIE-IGNORE-STORE")
+#: Figure 9/10 instruction-reduction configurations.
+REDUCTION_CONFIGS = ("UV", "DAC-IDEAL", "DARSIE")
+#: Figure 12 configurations.
+FIG12_CONFIGS = ("DARSIE", "DARSIE-NO-CF-SYNC", "SILICON-SYNC")
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 / Figure 2 — functional limit studies
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Figure1Result:
+    per_workload: Dict[str, LevelBreakdown]
+    average: LevelBreakdown
+
+    def render(self) -> str:
+        headers = ["App", "Grid-wide", "TB-wide", "Warp-wide", "Vector", "Scalar"]
+        rows = [
+            [abbr] + [fmt_pct(getattr(b, k)) for k in ("grid", "tb", "warp", "vector", "scalar")]
+            for abbr, b in self.per_workload.items()
+        ]
+        rows.append(
+            ["AVG"]
+            + [fmt_pct(getattr(self.average, k)) for k in ("grid", "tb", "warp", "vector", "scalar")]
+        )
+        return format_table(
+            headers, rows,
+            title="Figure 1: redundant instructions per GPU thread-grouping level",
+        )
+
+
+def figure1(scale: str = "small", abbrs: Sequence[str] = ALL_ABBRS) -> Figure1Result:
+    """Redundancy at the grid / TB / warp level, averaged across apps."""
+    per = {}
+    for abbr in abbrs:
+        runner = get_runner(abbr, scale)
+        per[abbr] = redundancy_levels(runner.functional_trace())
+    return Figure1Result(per_workload=per, average=average_levels(list(per.values())))
+
+
+@dataclass
+class Figure2Result:
+    per_workload: Dict[str, TaxonomyBreakdown]
+    dimensionality: Dict[str, int]
+
+    def render(self) -> str:
+        headers = ["App", "TBdim", "Uniform", "Affine", "Unstructured", "Non-Red."]
+        rows = [
+            [
+                abbr,
+                f"{self.dimensionality[abbr]}D",
+                fmt_pct(b.uniform),
+                fmt_pct(b.affine),
+                fmt_pct(b.unstructured),
+                fmt_pct(b.non_redundant),
+            ]
+            for abbr, b in self.per_workload.items()
+        ]
+        return format_table(
+            headers, rows,
+            title="Figure 2: fraction of dynamically executed TB-redundant instructions",
+        )
+
+
+def figure2(scale: str = "small", abbrs: Sequence[str] = ALL_ABBRS) -> Figure2Result:
+    per, dims = {}, {}
+    for abbr in abbrs:
+        runner = get_runner(abbr, scale)
+        per[abbr] = taxonomy_breakdown(runner.functional_trace())
+        dims[abbr] = runner.workload.dimensionality
+    return Figure2Result(per_workload=per, dimensionality=dims)
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — compiler markings on the MM kernel
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Figure6Result:
+    listing: str
+    counts: Dict[str, int]
+
+    def render(self) -> str:
+        summary = ", ".join(f"{k}: {v}" for k, v in self.counts.items())
+        return (
+            "Figure 6: compiler markings for the matrix-multiply kernel\n"
+            f"({summary})\n\n" + self.listing
+        )
+
+
+def figure6(scale: str = "small") -> Figure6Result:
+    wl = build_workload("MM", scale)
+    analysis = analyze_program(wl.program)
+    counts = {m.short: n for m, n in analysis.counts().items()}
+    return Figure6Result(listing=analysis.annotated_listing(), counts=counts)
+
+
+# ---------------------------------------------------------------------------
+# Tables 1 / 2 / 3
+# ---------------------------------------------------------------------------
+
+
+def table1() -> str:
+    headers = ["Abbr", "Name", "Suite", "TB dim", "Dims"]
+    return format_table(headers, table1_rows(), title="Table 1: applications studied")
+
+
+def table2(config: GPUConfig = PASCAL_GTX1080TI) -> str:
+    rows = [
+        ["GPU", f"Pascal ({config.name}), {config.num_sms} SMs, "
+                f"{config.max_warps_per_sm} warps/SM, {config.max_tbs_per_sm} TBs/SM"],
+        ["SM", f"{config.warp_size} SIMD width, "
+               f"{config.vector_registers_per_sm} vector registers per SM"],
+        ["Scheduler", f"{config.num_schedulers} warp schedulers/SM, GTO scheduling"],
+        ["L1/shared", "96KB shared memory/SM"],
+        ["Register", "14.2pJ/read 25.9pJ/write"],
+    ]
+    return format_table(["Parameter", "Value"], rows, title="Table 2: baseline GPU")
+
+
+def table3() -> str:
+    return render_table3()
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — speedups
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SpeedupResult:
+    configs: Tuple[str, ...]
+    per_workload: Dict[str, Dict[str, float]]   # abbr -> config -> speedup
+    gmean_1d: Dict[str, float]
+    gmean_2d: Dict[str, float]
+
+    def render(self, title: str = "Figure 8: speedup over the baseline GPU") -> str:
+        headers = ["App"] + [c for c in self.configs]
+        rows = [
+            [abbr] + [fmt_x(vals[c]) for c in self.configs]
+            for abbr, vals in self.per_workload.items()
+        ]
+        if self.gmean_1d:
+            rows.append(["GMEAN-1D"] + [fmt_x(self.gmean_1d[c]) for c in self.configs])
+        if self.gmean_2d:
+            rows.append(["GMEAN-2D"] + [fmt_x(self.gmean_2d[c]) for c in self.configs])
+        return format_table(headers, rows, title=title)
+
+
+def _speedup_sweep(
+    configs: Sequence[str],
+    scale: str,
+    abbrs: Sequence[str],
+    gpu_config: Optional[GPUConfig],
+) -> SpeedupResult:
+    per: Dict[str, Dict[str, float]] = {}
+    for abbr in abbrs:
+        runner = get_runner(abbr, scale, gpu_config)
+        per[abbr] = {c: runner.speedup(c) for c in configs}
+    def gm(group):
+        members = [a for a in group if a in per]
+        if not members:
+            return {}
+        return {c: geomean([per[a][c] for a in members]) for c in configs}
+    return SpeedupResult(
+        configs=tuple(configs),
+        per_workload=per,
+        gmean_1d=gm(ONE_D_ABBRS),
+        gmean_2d=gm(TWO_D_ABBRS),
+    )
+
+
+def figure8(
+    scale: str = "small",
+    abbrs: Sequence[str] = ALL_ABBRS,
+    gpu_config: Optional[GPUConfig] = None,
+) -> SpeedupResult:
+    """Speedup of UV / DAC-IDEAL / DARSIE / DARSIE-IGNORE-STORE."""
+    return _speedup_sweep(FIG8_CONFIGS, scale, abbrs, gpu_config)
+
+
+# ---------------------------------------------------------------------------
+# Figures 9 / 10 — instruction reduction breakdowns
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ReductionResult:
+    configs: Tuple[str, ...]
+    #: abbr -> config -> {class -> fraction of baseline instructions}
+    per_workload: Dict[str, Dict[str, Dict[str, float]]]
+    gmean_total: Dict[str, float]
+    title: str
+
+    def total(self, abbr: str, config: str) -> float:
+        return sum(self.per_workload[abbr][config].values())
+
+    def render(self) -> str:
+        headers = ["App", "Config", "Uniform", "Affine", "Unstructured", "Total"]
+        rows = []
+        for abbr, by_config in self.per_workload.items():
+            for config in self.configs:
+                b = by_config[config]
+                rows.append([
+                    abbr, config,
+                    fmt_pct(b.get("uniform", 0.0)),
+                    fmt_pct(b.get("affine", 0.0)),
+                    fmt_pct(b.get("unstructured", 0.0)),
+                    fmt_pct(sum(b.values())),
+                ])
+        for config in self.configs:
+            rows.append(["GMEAN", config, "", "", "", fmt_pct(self.gmean_total[config])])
+        return format_table(headers, rows, title=self.title)
+
+
+def _reduction_sweep(scale, abbrs, title, gpu_config=None) -> ReductionResult:
+    per: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for abbr in abbrs:
+        runner = get_runner(abbr, scale, gpu_config)
+        base_exec = runner.run("BASE").stats.instructions_executed
+        per[abbr] = {}
+        for config in REDUCTION_CONFIGS:
+            stats = runner.run(config).stats
+            removed = dict(stats.skipped_by_class)
+            for cls, n in stats.eliminated_by_class.items():
+                removed[cls] = removed.get(cls, 0) + n
+            per[abbr][config] = {cls: n / base_exec for cls, n in removed.items()}
+    gmean_total = {}
+    for config in REDUCTION_CONFIGS:
+        totals = [max(1e-9, sum(per[a][config].values())) for a in per]
+        gmean_total[config] = geomean(totals)
+    return ReductionResult(
+        configs=REDUCTION_CONFIGS, per_workload=per, gmean_total=gmean_total, title=title
+    )
+
+
+def figure9(scale: str = "small", gpu_config: Optional[GPUConfig] = None) -> ReductionResult:
+    """1D-benchmark instruction reduction vs the baseline."""
+    return _reduction_sweep(
+        scale, ONE_D_ABBRS,
+        "Figure 9: percent reduction in 1D benchmark instructions vs baseline",
+        gpu_config,
+    )
+
+
+def figure10(scale: str = "small", gpu_config: Optional[GPUConfig] = None) -> ReductionResult:
+    """2D-benchmark instruction reduction vs the baseline."""
+    return _reduction_sweep(
+        scale, TWO_D_ABBRS,
+        "Figure 10: percent reduction in 2D benchmark instructions vs baseline",
+        gpu_config,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 11 — energy reduction
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EnergyResult:
+    configs: Tuple[str, ...]
+    per_workload: Dict[str, Dict[str, float]]   # abbr -> config -> reduction
+    gmean_1d: Dict[str, float]
+    gmean_2d: Dict[str, float]
+    darsie_overhead: Dict[str, float]           # abbr -> overhead fraction
+
+    def render(self) -> str:
+        headers = ["App"] + list(self.configs) + ["DARSIE overhead"]
+        rows = [
+            [abbr] + [fmt_pct(v[c]) for c in self.configs] + [fmt_pct(self.darsie_overhead[abbr])]
+            for abbr, v in self.per_workload.items()
+        ]
+        if self.gmean_1d:
+            rows.append(["GMEAN-1D"] + [fmt_pct(self.gmean_1d[c]) for c in self.configs] + [""])
+        if self.gmean_2d:
+            rows.append(["GMEAN-2D"] + [fmt_pct(self.gmean_2d[c]) for c in self.configs] + [""])
+        return format_table(
+            headers, rows, title="Figure 11: percent energy reduction vs the baseline"
+        )
+
+
+def figure11(
+    scale: str = "small",
+    abbrs: Sequence[str] = ALL_ABBRS,
+    gpu_config: Optional[GPUConfig] = None,
+) -> EnergyResult:
+    configs = ("UV", "DAC-IDEAL", "DARSIE")
+    per: Dict[str, Dict[str, float]] = {}
+    overhead: Dict[str, float] = {}
+    for abbr in abbrs:
+        runner = get_runner(abbr, scale, gpu_config)
+        per[abbr] = {c: runner.energy_reduction(c) for c in configs}
+        darsie = runner.run("DARSIE")
+        breakdown = runner.energy_model.breakdown(
+            darsie.stats, runner.gpu_config.num_sms
+        )
+        overhead[abbr] = breakdown.overhead_fraction
+    def gm(group):
+        members = [a for a in group if a in per]
+        if not members:
+            return {}
+        # Energy reductions can be ~0; use arithmetic mean of the energy
+        # ratio then convert, which is robust and monotone.
+        return {
+            c: 1.0 - geomean([max(1e-9, 1.0 - per[a][c]) for a in members])
+            for c in configs
+        }
+    return EnergyResult(
+        configs=configs,
+        per_workload=per,
+        gmean_1d=gm(ONE_D_ABBRS),
+        gmean_2d=gm(TWO_D_ABBRS),
+        darsie_overhead=overhead,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 12 — synchronization effects
+# ---------------------------------------------------------------------------
+
+
+def figure12(
+    scale: str = "small",
+    abbrs: Sequence[str] = ALL_ABBRS,
+    gpu_config: Optional[GPUConfig] = None,
+) -> SpeedupResult:
+    """DARSIE vs DARSIE-NO-CF-SYNC vs SILICON-SYNC."""
+    result = _speedup_sweep(FIG12_CONFIGS, scale, abbrs, gpu_config)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Section 6.3 — area; Section 1 — survey
+# ---------------------------------------------------------------------------
+
+
+def area_estimate() -> str:
+    return paper_area_model().report()
+
+
+@dataclass
+class SurveyResult:
+    num_applications: int
+    fraction_multi_dimensional: float
+    fraction_library_multi_dimensional: float
+    mean_time_in_md_kernels: float
+    num_2d_kernels: int
+    promotion_failures: int
+
+    def render(self) -> str:
+        rows = [
+            ["applications surveyed", self.num_applications],
+            ["multi-dimensional apps", fmt_pct(self.fraction_multi_dimensional)],
+            ["library apps that are multi-dimensional",
+             fmt_pct(self.fraction_library_multi_dimensional)],
+            ["mean exec. time in multi-dimensional kernels",
+             fmt_pct(self.mean_time_in_md_kernels)],
+            ["unique 2D kernels", self.num_2d_kernels],
+            ["2D kernels failing the promotion criterion", self.promotion_failures],
+        ]
+        return format_table(["Statistic", "Value"], rows,
+                            title="Section 1: application survey (synthetic dataset)")
+
+
+def survey() -> SurveyResult:
+    s = default_survey()
+    return SurveyResult(
+        num_applications=s.num_applications,
+        fraction_multi_dimensional=s.fraction_multi_dimensional,
+        fraction_library_multi_dimensional=s.fraction_library_multi_dimensional,
+        mean_time_in_md_kernels=s.mean_time_in_multi_dimensional_kernels,
+        num_2d_kernels=len(s.unique_2d_kernels()),
+        promotion_failures=len(s.promotion_failures()),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablations (DESIGN.md Section 4) — not paper figures, design-choice benches
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AblationResult:
+    parameter: str
+    points: List[Tuple[object, float]]   # (value, speedup over BASE)
+
+    def render(self) -> str:
+        rows = [[str(v), fmt_x(s)] for v, s in self.points]
+        return format_table([self.parameter, "speedup"], rows,
+                            title=f"Ablation: DARSIE speedup vs {self.parameter}")
+
+
+def ablation_skip_ports(
+    abbr: str = "MM", scale: str = "small",
+    ports: Sequence[int] = (1, 2, 4, 8),
+    gpu_config: Optional[GPUConfig] = None,
+) -> AblationResult:
+    from repro.core import DarsieConfig
+
+    runner = get_runner(abbr, scale, gpu_config)
+    base = runner.run("BASE").cycles
+    points = []
+    for p in ports:
+        res = runner.run(f"DARSIE-ports{p}", DarsieConfig(skip_ports=p))
+        points.append((p, base / res.cycles))
+    return AblationResult(parameter="PC-coalescer ports", points=points)
+
+
+def ablation_rename_registers(
+    abbr: str = "MM", scale: str = "small",
+    sizes: Sequence[int] = (4, 8, 16, 32),
+    gpu_config: Optional[GPUConfig] = None,
+) -> AblationResult:
+    from repro.core import DarsieConfig
+
+    runner = get_runner(abbr, scale, gpu_config)
+    base = runner.run("BASE").cycles
+    points = []
+    for n in sizes:
+        res = runner.run(f"DARSIE-rename{n}", DarsieConfig(rename_regs_per_tb=n))
+        points.append((n, base / res.cycles))
+    return AblationResult(parameter="rename registers per TB", points=points)
+
+
+def ablation_sync_on_write(
+    abbr: str = "MM", scale: str = "small", gpu_config: Optional[GPUConfig] = None
+) -> AblationResult:
+    """Versioning (paper's choice) vs synchronize-on-every-write."""
+    runner = get_runner(abbr, scale, gpu_config)
+    base = runner.run("BASE").cycles
+    points = [
+        ("versioning", base / runner.run("DARSIE").cycles),
+        ("sync-on-write", base / runner.run("DARSIE-SYNC-ON-WRITE").cycles),
+    ]
+    return AblationResult(parameter="redundant-write policy", points=points)

@@ -1,0 +1,44 @@
+"""Table 3: comparison of DARSIE to related work.
+
+A capability matrix, reproduced from the paper's Table 3, plus the
+mapping onto what this codebase actually implements/models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.harness.reporting import format_table
+
+#: Capability rows of Table 3.
+CAPABILITIES = (
+    "Uniform Redundancy",
+    "Affine Redundancy",
+    "Unstructured Redundancy",
+    "Min. Pipeline Modifications",
+)
+
+#: Technique -> capability flags, in the paper's column order.
+TABLE3: Dict[str, Tuple[bool, bool, bool, bool]] = {
+    "WIR [20]": (True, False, False, False),
+    "G-Scalar [28]": (True, False, False, False),
+    "UV [50]": (True, False, False, True),
+    "GP-SIMT [19]": (True, True, False, False),
+    "DAC [45]": (True, True, False, False),
+    "DARSIE": (True, True, True, True),
+}
+
+
+def render_table3() -> str:
+    headers = ["Capability"] + list(TABLE3)
+    rows: List[List[str]] = []
+    for i, cap in enumerate(CAPABILITIES):
+        rows.append([cap] + ["yes" if TABLE3[t][i] else "" for t in TABLE3])
+    return format_table(headers, rows, title="Table 3: Comparison of DARSIE to related work")
+
+
+def darsie_covers_all() -> bool:
+    """DARSIE is the only technique covering every capability."""
+    full = [t for t, flags in TABLE3.items() if all(flags)]
+    return full == ["DARSIE"]

@@ -1,0 +1,196 @@
+"""Workload runner: named configurations over the shared substrate.
+
+Every configuration runs the same kernel on the same timing model and is
+verified against the workload's numpy oracle — a run that produces wrong
+results raises, so no experiment can silently report numbers from a
+broken mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.baselines import DacIdealFrontend, UVFrontend, build_dac_profile
+from repro.core import CompilerAnalysis, DarsieConfig, DarsieFrontend, analyze_program
+from repro.energy import PASCAL_ENERGY_MODEL, EnergyModel
+from repro.simt import GlobalMemory, Tracer, run_functional
+from repro.simt.tracer import ExecutionTrace
+from repro.timing import GPUConfig, SimulationResult, simulate, small_config
+from repro.timing.frontend import SiliconSyncFrontend
+from repro.workloads import Workload, build_workload
+
+#: Configuration names understood by :meth:`WorkloadRunner.run`.
+CONFIG_NAMES = (
+    "BASE",
+    "UV",
+    "DAC-IDEAL",
+    "DARSIE",
+    "DARSIE-IGNORE-STORE",
+    "DARSIE-NO-CF-SYNC",
+    "DARSIE-SYNC-ON-WRITE",
+    "SILICON-SYNC",
+)
+
+
+class VerificationError(AssertionError):
+    """A timing run produced results that disagree with the oracle."""
+
+
+@dataclass
+class RunResult:
+    """One (workload, configuration) timing run."""
+
+    workload: str
+    config_name: str
+    sim: SimulationResult
+    energy_pj: float
+
+    @property
+    def cycles(self) -> int:
+        return self.sim.cycles
+
+    @property
+    def stats(self):
+        return self.sim.stats
+
+
+class WorkloadRunner:
+    """Runs one workload under the named configurations, with caching."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        gpu_config: Optional[GPUConfig] = None,
+        energy_model: EnergyModel = PASCAL_ENERGY_MODEL,
+    ):
+        self.workload = workload
+        self.gpu_config = gpu_config or small_config(num_sms=1)
+        self.energy_model = energy_model
+        self.analysis: CompilerAnalysis = analyze_program(workload.program)
+        self._results: Dict[str, RunResult] = {}
+        self._dac_profile = None
+        self._trace: Optional[ExecutionTrace] = None
+
+    # -- building blocks -----------------------------------------------------
+
+    def functional_trace(self) -> ExecutionTrace:
+        """Functional run with the tracer attached (limit studies)."""
+        if self._trace is None:
+            mem, params = self.workload.fresh()
+            tracer = Tracer()
+            run_functional(
+                self.workload.program, self.workload.launch, mem,
+                params=params, tracer=tracer,
+            )
+            if not self.workload.verify(mem, params):
+                raise VerificationError(f"{self.workload.abbr}: functional run failed oracle")
+            self._trace = tracer.trace
+        return self._trace
+
+    def dac_profile(self):
+        if self._dac_profile is None:
+            mem, params = self.workload.fresh()
+            self._dac_profile = build_dac_profile(
+                self.workload.program, self.workload.launch, mem.words.copy(), params
+            )
+        return self._dac_profile
+
+    def _frontend_factory(self, name: str) -> Optional[Callable]:
+        if name == "BASE":
+            return None
+        if name == "UV":
+            return lambda: UVFrontend(self.analysis)
+        if name == "DAC-IDEAL":
+            profile = self.dac_profile()
+            return lambda: DacIdealFrontend(profile)
+        if name == "DARSIE":
+            return lambda: DarsieFrontend(self.analysis)
+        if name == "DARSIE-IGNORE-STORE":
+            return lambda: DarsieFrontend(self.analysis, DarsieConfig(ignore_store=True))
+        if name == "DARSIE-NO-CF-SYNC":
+            return lambda: DarsieFrontend(self.analysis, DarsieConfig(no_cf_sync=True))
+        if name == "DARSIE-SYNC-ON-WRITE":
+            return lambda: DarsieFrontend(self.analysis, DarsieConfig(sync_on_write=True))
+        if name == "SILICON-SYNC":
+            return SiliconSyncFrontend
+        raise KeyError(f"unknown configuration {name!r}; known: {CONFIG_NAMES}")
+
+    # -- running -----------------------------------------------------------------
+
+    def run(self, config_name: str, darsie_config: Optional[DarsieConfig] = None) -> RunResult:
+        """Run (and cache) one named configuration."""
+        cache_key = config_name if darsie_config is None else None
+        if cache_key and cache_key in self._results:
+            return self._results[cache_key]
+        if darsie_config is not None:
+            factory: Optional[Callable] = lambda: DarsieFrontend(self.analysis, darsie_config)
+        else:
+            factory = self._frontend_factory(config_name)
+        mem, params = self.workload.fresh()
+        sim = simulate(
+            self.workload.program,
+            self.workload.launch,
+            mem,
+            params=params,
+            config=self.gpu_config,
+            frontend_factory=factory,
+        )
+        if not self.workload.verify(mem, params):
+            raise VerificationError(
+                f"{self.workload.abbr} under {config_name}: output mismatch vs oracle"
+            )
+        energy = self.energy_model.total_energy_pj(sim.stats, self.gpu_config.num_sms)
+        result = RunResult(
+            workload=self.workload.abbr,
+            config_name=config_name,
+            sim=sim,
+            energy_pj=energy,
+        )
+        if cache_key:
+            self._results[cache_key] = result
+        return result
+
+    def speedup(self, config_name: str) -> float:
+        return self.run("BASE").cycles / self.run(config_name).cycles
+
+    def instruction_reduction(self, config_name: str) -> float:
+        """Fraction of baseline instruction slots removed before fetch
+        plus eliminated at issue."""
+        base = self.run("BASE").stats.instructions_executed
+        res = self.run(config_name).stats
+        removed = res.instructions_skipped + res.executions_eliminated
+        return removed / max(1, base)
+
+    def energy_reduction(self, config_name: str) -> float:
+        base = self.run("BASE").energy_pj
+        return 1.0 - self.run(config_name).energy_pj / base
+
+
+def make_runners(
+    abbrs, scale: str = "small", gpu_config: Optional[GPUConfig] = None
+) -> List[WorkloadRunner]:
+    return [WorkloadRunner(build_workload(a, scale), gpu_config) for a in abbrs]
+
+
+_RUNNER_CACHE: Dict[Tuple[str, str, Optional[GPUConfig]], WorkloadRunner] = {}
+
+
+def get_runner(
+    abbr: str, scale: str = "small", gpu_config: Optional[GPUConfig] = None
+) -> WorkloadRunner:
+    """Process-wide memoized runner.
+
+    Timing results are deterministic, so experiments that share a
+    (workload, scale, GPU config) triple — e.g. Figure 8's speedups and
+    Figure 10's instruction reductions — reuse each other's runs instead
+    of re-simulating.
+    """
+    key = (abbr, scale, gpu_config)
+    if key not in _RUNNER_CACHE:
+        _RUNNER_CACHE[key] = WorkloadRunner(build_workload(abbr, scale), gpu_config)
+    return _RUNNER_CACHE[key]
+
+
+def clear_runner_cache() -> None:
+    _RUNNER_CACHE.clear()

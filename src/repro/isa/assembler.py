@@ -1,0 +1,356 @@
+"""Assembler for the PTXPlus-like kernel language.
+
+Grammar (one statement per line, ``#`` or ``//`` comments)::
+
+    .kernel <name>
+    .param <pname>            # declare a kernel launch parameter
+    .shared <words>           # static shared-memory allocation, in words
+
+    <label>:
+    [@[!]$p] opcode[.mods] operands...
+
+Operands:
+
+- ``$r0`` / ``$ofs3``   named registers (names matching ``p<digits>`` are
+  predicate registers, e.g. ``$p0``)
+- ``%tid.x`` etc.       special registers
+- ``%param.width``      kernel parameters
+- ``123`` / ``0x1f`` / ``1.5``  immediates
+- ``[$r1 + $r2 + 16]``  memory operands (space from the opcode modifier)
+
+Examples::
+
+    mul.u32        $r1, %tid.x, 4
+    add.u32        $r2, $r1, 10
+    ld.global.s32  $r3, [$r2]
+    setp.lt.u32    $p0, $r4, %param.n
+    @$p0 bra       loop
+    st.global.f32  [$r5 + 4], $r6
+    bar.sync
+    exit
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.isa.instructions import (
+    INSTRUCTION_BYTES,
+    CmpOp,
+    DType,
+    Instruction,
+    Opcode,
+    source_arity,
+)
+from repro.isa.operands import (
+    Immediate,
+    MemRef,
+    MemSpace,
+    Param,
+    Predicate,
+    Register,
+    Special,
+)
+from repro.isa.program import Program
+
+
+class AssemblyError(ValueError):
+    """Raised on any malformed kernel source, with line context."""
+
+    def __init__(self, message: str, lineno: int = 0, line: str = ""):
+        self.lineno = lineno
+        self.line = line
+        if lineno:
+            message = f"line {lineno}: {message}: {line!r}"
+        super().__init__(message)
+
+
+_PRED_NAME = re.compile(r"^p\d+$")
+_LABEL = re.compile(r"^([A-Za-z_][\w.$]*):$")
+_GUARD = re.compile(r"^@(!?)\$([A-Za-z_]\w*)\s+")
+_INT = re.compile(r"^-?(0x[0-9a-fA-F]+|\d+)$")
+_FLOAT = re.compile(r"^-?(\d+\.\d*([eE][-+]?\d+)?|\d+[eE][-+]?\d+|\.\d+)$")
+
+#: Modifier tokens that are accepted for PTXPlus fidelity but carry no
+#: semantics in the functional model (width/rounding selectors).
+_IGNORED_MODS = {"lo", "hi", "wide", "rn", "rz", "rm", "rp", "sat", "sync", "b32", "u16"}
+
+_DTYPE_MODS = {d.value: d for d in DType if d is not DType.PRED}
+_CMP_MODS = {c.value: c for c in CmpOp}
+_SPACE_MODS = {"global": MemSpace.GLOBAL, "shared": MemSpace.SHARED, "param": MemSpace.PARAM}
+#: Atomic sub-operations (only ``add`` is exercised by the workloads, but
+#: the decoder accepts the usual set).
+_ATOM_MODS = {"add", "min", "max", "exch", "cas"}
+
+
+def _parse_scalar(token: str, lineno: int, line: str):
+    """Parse one non-memory operand token."""
+    token = token.strip()
+    if token.startswith("$"):
+        name = token[1:]
+        if not name:
+            raise AssemblyError("empty register name", lineno, line)
+        if _PRED_NAME.match(name):
+            return Predicate(name)
+        return Register(name)
+    if token.startswith("%param."):
+        return Param(token[len("%param.") :])
+    if token.startswith("%"):
+        try:
+            return Special(token[1:])
+        except ValueError as exc:
+            raise AssemblyError(str(exc), lineno, line) from exc
+    if _INT.match(token):
+        return Immediate(int(token, 0))
+    if _FLOAT.match(token):
+        return Immediate(float(token))
+    raise AssemblyError(f"cannot parse operand {token!r}", lineno, line)
+
+
+def _parse_memref(token: str, space: MemSpace, lineno: int, line: str) -> MemRef:
+    inner = token[1:-1].strip()
+    if not inner:
+        raise AssemblyError("empty memory operand", lineno, line)
+    parts = [p.strip() for p in inner.split("+")]
+    base = None
+    index: Optional[Register] = None
+    offset = 0
+    for part in parts:
+        if _INT.match(part):
+            offset += int(part, 0)
+            continue
+        operand = _parse_scalar(part, lineno, line)
+        if base is None:
+            base = operand
+        elif isinstance(operand, Register) and index is None:
+            index = operand
+        else:
+            raise AssemblyError("too many address components", lineno, line)
+    if base is None:
+        base = Immediate(0)
+    if isinstance(base, Predicate):
+        raise AssemblyError("predicate cannot address memory", lineno, line)
+    return MemRef(space=space, base=base, offset=offset, index=index)
+
+
+def _split_operands(rest: str) -> List[str]:
+    """Split an operand list on commas that are outside brackets."""
+    tokens, depth, cur = [], 0, []
+    for ch in rest:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            tokens.append("".join(cur).strip())
+            cur = []
+        else:
+            cur.append(ch)
+    tail = "".join(cur).strip()
+    if tail:
+        tokens.append(tail)
+    return [t for t in tokens if t]
+
+
+def _decode_mnemonic(
+    mnemonic: str, lineno: int, line: str
+) -> Tuple[Opcode, DType, Optional[CmpOp], Optional[MemSpace], Optional[str]]:
+    parts = mnemonic.split(".")
+    try:
+        opcode = Opcode(parts[0])
+    except ValueError as exc:
+        raise AssemblyError(f"unknown opcode {parts[0]!r}", lineno, line) from exc
+    dtype = DType.S32
+    cmp: Optional[CmpOp] = None
+    space: Optional[MemSpace] = None
+    atom_op: Optional[str] = None
+    for mod in parts[1:]:
+        if mod in _DTYPE_MODS:
+            dtype = _DTYPE_MODS[mod]
+        elif mod in _CMP_MODS:
+            cmp = _CMP_MODS[mod]
+        elif mod in _SPACE_MODS:
+            space = _SPACE_MODS[mod]
+        elif opcode is Opcode.ATOM and mod in _ATOM_MODS:
+            atom_op = mod
+        elif mod in _IGNORED_MODS:
+            continue
+        else:
+            raise AssemblyError(f"unknown modifier .{mod}", lineno, line)
+    if opcode is Opcode.SETP and cmp is None:
+        raise AssemblyError("setp requires a comparison modifier", lineno, line)
+    if opcode in (Opcode.LD, Opcode.ST, Opcode.ATOM) and space is None:
+        raise AssemblyError(f"{opcode.value} requires an address-space modifier", lineno, line)
+    return opcode, dtype, cmp, space, atom_op
+
+
+def _build_instruction(
+    pc: int,
+    mnemonic: str,
+    rest: str,
+    guard: Optional[Predicate],
+    guard_negated: bool,
+    lineno: int,
+    line: str,
+) -> Instruction:
+    opcode, dtype, cmp, space, atom_op = _decode_mnemonic(mnemonic, lineno, line)
+    tokens = _split_operands(rest)
+
+    if opcode is Opcode.BRA:
+        if len(tokens) != 1 or tokens[0].startswith(("$", "%", "[")):
+            raise AssemblyError("bra expects a single label", lineno, line)
+        return Instruction(
+            pc=pc, opcode=opcode, target=tokens[0], guard=guard,
+            guard_negated=guard_negated, text=line,
+        )
+    if opcode in (Opcode.BAR, Opcode.EXIT, Opcode.NOP):
+        if tokens:
+            raise AssemblyError(f"{opcode.value} takes no operands", lineno, line)
+        return Instruction(
+            pc=pc, opcode=opcode, guard=guard, guard_negated=guard_negated, text=line
+        )
+
+    operands = []
+    mem: Optional[MemRef] = None
+    for token in tokens:
+        if token.startswith("["):
+            if mem is not None:
+                raise AssemblyError("multiple memory operands", lineno, line)
+            assert space is not None
+            mem = _parse_memref(token, space, lineno, line)
+        else:
+            operands.append(_parse_scalar(token, lineno, line))
+
+    if opcode is Opcode.ST:
+        if mem is None or len(operands) != 1:
+            raise AssemblyError("st expects [addr], value", lineno, line)
+        return Instruction(
+            pc=pc, opcode=opcode, dtype=dtype, srcs=(operands[0],), mem=mem,
+            guard=guard, guard_negated=guard_negated, text=line,
+        )
+    if opcode is Opcode.LD:
+        if mem is None or len(operands) != 1 or not isinstance(operands[0], Register):
+            raise AssemblyError("ld expects $dst, [addr]", lineno, line)
+        return Instruction(
+            pc=pc, opcode=opcode, dtype=dtype, dst=operands[0], mem=mem,
+            guard=guard, guard_negated=guard_negated, text=line,
+        )
+    if opcode is Opcode.ATOM:
+        if mem is None or len(operands) != 2 or not isinstance(operands[0], Register):
+            raise AssemblyError("atom expects $dst, [addr], value", lineno, line)
+        return Instruction(
+            pc=pc, opcode=opcode, dtype=dtype, dst=operands[0], srcs=(operands[1],),
+            mem=mem, guard=guard, guard_negated=guard_negated, text=line,
+        )
+
+    # Plain register-to-register operation.
+    if mem is not None:
+        raise AssemblyError(f"{opcode.value} cannot take a memory operand", lineno, line)
+    if not operands:
+        raise AssemblyError("missing destination", lineno, line)
+    dst, srcs = operands[0], tuple(operands[1:])
+    if opcode is Opcode.SETP:
+        if not isinstance(dst, Predicate):
+            raise AssemblyError("setp destination must be a predicate", lineno, line)
+        dtype_out = dtype
+    else:
+        if not isinstance(dst, Register):
+            raise AssemblyError("destination must be a register", lineno, line)
+        dtype_out = dtype
+    expected = source_arity(opcode)
+    if len(srcs) != expected:
+        raise AssemblyError(
+            f"{opcode.value} expects {expected} source operand(s), got {len(srcs)}",
+            lineno,
+            line,
+        )
+    return Instruction(
+        pc=pc, opcode=opcode, dtype=dtype_out, cmp=cmp, dst=dst, srcs=srcs,
+        guard=guard, guard_negated=guard_negated, text=line,
+    )
+
+
+def assemble(source: str, name: Optional[str] = None) -> Program:
+    """Assemble kernel ``source`` text into a :class:`Program`.
+
+    The returned program has resolved branch targets, a basic-block CFG
+    and precomputed reconvergence PCs (immediate post-dominators) for
+    every branch.
+    """
+    kernel_name = name or "kernel"
+    params: List[str] = []
+    shared_words = 0
+    instructions: List[Instruction] = []
+    labels = {}
+    pending_labels: List[str] = []
+
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].split("//", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith(".kernel"):
+            kernel_name = line.split(None, 1)[1].strip() if " " in line else kernel_name
+            continue
+        if line.startswith(".param"):
+            try:
+                params.append(line.split(None, 1)[1].strip())
+            except IndexError:
+                raise AssemblyError(".param requires a name", lineno, line) from None
+            continue
+        if line.startswith(".shared"):
+            try:
+                shared_words = int(line.split(None, 1)[1].strip(), 0)
+            except (IndexError, ValueError):
+                raise AssemblyError(".shared requires a word count", lineno, line) from None
+            continue
+        label_match = _LABEL.match(line)
+        if label_match:
+            pending_labels.append(label_match.group(1))
+            continue
+
+        guard = None
+        guard_negated = False
+        guard_match = _GUARD.match(line)
+        body = line
+        if guard_match:
+            guard = Predicate(guard_match.group(2))
+            guard_negated = bool(guard_match.group(1))
+            body = line[guard_match.end() :]
+        pieces = body.split(None, 1)
+        mnemonic = pieces[0]
+        rest = pieces[1] if len(pieces) > 1 else ""
+        pc = len(instructions) * INSTRUCTION_BYTES
+        inst = _build_instruction(pc, mnemonic, rest, guard, guard_negated, lineno, line)
+        inst.index = len(instructions)
+        for lbl in pending_labels:
+            if lbl in labels:
+                raise AssemblyError(f"duplicate label {lbl!r}", lineno, line)
+            labels[lbl] = pc
+        pending_labels = []
+        instructions.append(inst)
+
+    if pending_labels:
+        raise AssemblyError(f"trailing labels with no instruction: {pending_labels}")
+    if not instructions:
+        raise AssemblyError("empty kernel")
+    if not instructions[-1].is_exit:
+        # Kernels must terminate; add an implicit exit for convenience.
+        pc = len(instructions) * INSTRUCTION_BYTES
+        inst = Instruction(pc=pc, opcode=Opcode.EXIT, text="exit")
+        inst.index = len(instructions)
+        instructions.append(inst)
+
+    for inst in instructions:
+        if inst.target is not None:
+            if inst.target not in labels:
+                raise AssemblyError(f"undefined label {inst.target!r} at pc {inst.pc:#x}")
+            inst.target_pc = labels[inst.target]
+
+    return Program(
+        name=kernel_name,
+        instructions=instructions,
+        labels=labels,
+        params=tuple(params),
+        shared_words=shared_words,
+    )

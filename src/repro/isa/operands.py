@@ -1,0 +1,201 @@
+"""Operand model for the PTXPlus-like ISA.
+
+Operands are small immutable value objects.  The assembler produces them;
+the functional executor (:mod:`repro.simt.executor`) evaluates them; the
+DARSIE compiler pass (:mod:`repro.core.compiler_pass`) walks them to
+propagate redundancy classes.
+
+The operand kinds mirror register-allocated PTXPlus:
+
+``Register``
+    A named general-purpose vector register, e.g. ``$r0`` or ``$ofs3``.
+    Each warp owns a private 32-lane instance of every named register.
+``Predicate``
+    A named 1-bit-per-lane predicate register, e.g. ``$p0``.
+``Immediate``
+    An integer or float literal baked into the instruction.
+``Special``
+    A read-only intrinsic value: thread / block indices and dimensions
+    (``tid.x``, ``ctaid.y``, ``ntid.x``, ...), ``laneid``, ``warpid`` and
+    ``smem_base`` (the base of the TB's shared-memory allocation).
+``Param``
+    A kernel launch parameter (uniform across the grid), e.g.
+    ``%param.width``.
+``MemRef``
+    A memory operand ``[base + offset]`` in a named address space.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+
+class MemSpace(enum.Enum):
+    """Address spaces of the machine model."""
+
+    GLOBAL = "global"
+    SHARED = "shared"
+    PARAM = "param"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Special register names understood by the executor.  The three counted
+#: dimensions mirror CUDA's built-ins; DARSIE's analysis gives each a
+#: distinct redundancy class (Section 4.2).
+SPECIAL_NAMES = frozenset(
+    {
+        "tid.x",
+        "tid.y",
+        "tid.z",
+        "ntid.x",
+        "ntid.y",
+        "ntid.z",
+        "ctaid.x",
+        "ctaid.y",
+        "ctaid.z",
+        "nctaid.x",
+        "nctaid.y",
+        "nctaid.z",
+        "laneid",
+        "warpid",
+        "smem_base",
+    }
+)
+
+#: Specials that are uniform across an entire threadblock.  These are the
+#: intrinsics the paper marks *definitely redundant*: block indices, block
+#: dimensions, grid dimensions and the shared-memory base (Section 4.2).
+TB_UNIFORM_SPECIALS = frozenset(
+    {
+        "ntid.x",
+        "ntid.y",
+        "ntid.z",
+        "ctaid.x",
+        "ctaid.y",
+        "ctaid.z",
+        "nctaid.x",
+        "nctaid.y",
+        "nctaid.z",
+        "smem_base",
+    }
+)
+
+#: Specials that are *conditionally redundant*: their values repeat across
+#: warps only when the TB dimensions meet the launch-time criterion.  The
+#: paper limits the analysis to ``tid.x`` (Section 4.2); ``tid.y`` joins it
+#: for 3D TBs, which none of the studied applications use.
+CONDITIONALLY_REDUNDANT_SPECIALS = frozenset({"tid.x"})
+
+
+@dataclass(frozen=True)
+class Register:
+    """A named general-purpose register, private to each warp."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A named predicate register (one bit per lane)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
+class Immediate:
+    """A literal operand; ``value`` is an ``int`` or ``float``."""
+
+    value: Union[int, float]
+
+    def __str__(self) -> str:
+        if isinstance(self.value, int):
+            return hex(self.value) if abs(self.value) > 9 else str(self.value)
+        return repr(self.value)
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self.value, float)
+
+
+@dataclass(frozen=True)
+class Special:
+    """A read-only intrinsic register such as ``%tid.x``."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in SPECIAL_NAMES:
+            raise ValueError(f"unknown special register %{self.name}")
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+    @property
+    def is_tb_uniform(self) -> bool:
+        """True when the value is identical for every thread in a TB."""
+        return self.name in TB_UNIFORM_SPECIALS
+
+    @property
+    def is_conditionally_redundant(self) -> bool:
+        """True for ``tid.x``, whose redundancy depends on TB sizing."""
+        return self.name in CONDITIONALLY_REDUNDANT_SPECIALS
+
+
+@dataclass(frozen=True)
+class Param:
+    """A kernel parameter operand, uniform across the whole grid."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"%param.{self.name}"
+
+
+#: Anything that can appear as a direct (non-memory) source operand.
+Scalar = Union[Register, Predicate, Immediate, Special, Param]
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """A memory operand ``[base (+ index) (+ offset)]``.
+
+    ``base`` may be a register, special, param or immediate; ``index`` is
+    an optional second register added to the base (common in PTXPlus
+    shared-memory addressing such as ``s[$ofs3+0x10]``); ``offset`` is a
+    constant byte displacement.
+    """
+
+    space: MemSpace
+    base: Scalar
+    offset: int = 0
+    index: Union[Register, None] = None
+
+    def __str__(self) -> str:
+        parts = [str(self.base)]
+        if self.index is not None:
+            parts.append(str(self.index))
+        if self.offset:
+            parts.append(hex(self.offset))
+        return f"[{' + '.join(parts)}]"
+
+    def registers(self) -> tuple:
+        """All register operands consumed when forming the address."""
+        regs = []
+        if isinstance(self.base, Register):
+            regs.append(self.base)
+        if self.index is not None:
+            regs.append(self.index)
+        return tuple(regs)
+
+
+Operand = Union[Scalar, MemRef]

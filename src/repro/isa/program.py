@@ -1,0 +1,205 @@
+"""Program representation: instruction list, basic blocks, CFG.
+
+The CFG serves two consumers:
+
+- the SIMT executor needs, for every (potentially divergent) branch, the
+  *reconvergence PC* — the immediate post-dominator of the branch — to
+  drive the per-warp SIMT reconvergence stack;
+- the DARSIE compiler pass propagates redundancy classes over the CFG to
+  a fixpoint (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.isa.instructions import INSTRUCTION_BYTES, Instruction
+
+#: Virtual CFG node representing kernel completion.
+EXIT_NODE = -1
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line sequence of instructions."""
+
+    index: int
+    start_pc: int
+    instructions: List[Instruction] = field(default_factory=list)
+
+    @property
+    def end_pc(self) -> int:
+        return self.instructions[-1].pc
+
+    @property
+    def terminator(self) -> Instruction:
+        return self.instructions[-1]
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+class Program:
+    """An assembled kernel.
+
+    Parameters
+    ----------
+    name:
+        Kernel name from the ``.kernel`` directive.
+    instructions:
+        Decoded instructions in PC order (PC = index * 8).
+    labels:
+        Label name → PC map.
+    params:
+        Declared kernel parameter names, in declaration order.
+    shared_words:
+        Statically allocated shared memory size in 32-bit words.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        instructions: List[Instruction],
+        labels: Dict[str, int],
+        params: Tuple[str, ...] = (),
+        shared_words: int = 0,
+    ):
+        self.name = name
+        self.instructions = instructions
+        self.labels = dict(labels)
+        self.params = tuple(params)
+        self.shared_words = shared_words
+        self._by_pc = {inst.pc: inst for inst in instructions}
+        self.blocks: List[BasicBlock] = []
+        self._block_of_pc: Dict[int, int] = {}
+        self.cfg = nx.DiGraph()
+        self._reconvergence: Dict[int, Optional[int]] = {}
+        self._build_blocks()
+        self._build_cfg()
+        self._compute_reconvergence()
+
+    # -- basic queries ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def at(self, pc: int) -> Instruction:
+        """The instruction at byte address ``pc``."""
+        try:
+            return self._by_pc[pc]
+        except KeyError:
+            raise KeyError(f"no instruction at pc {pc:#x}") from None
+
+    @property
+    def end_pc(self) -> int:
+        """One past the last valid PC."""
+        return len(self.instructions) * INSTRUCTION_BYTES
+
+    def block_of(self, pc: int) -> BasicBlock:
+        """The basic block containing ``pc``."""
+        return self.blocks[self._block_of_pc[pc]]
+
+    def reconvergence_pc(self, branch_pc: int) -> Optional[int]:
+        """Reconvergence point (immediate post-dominator) for a branch.
+
+        Returns ``None`` when the paths only rejoin at kernel exit.
+        """
+        return self._reconvergence[branch_pc]
+
+    def branch_pcs(self) -> List[int]:
+        return [inst.pc for inst in self.instructions if inst.is_branch]
+
+    # -- construction ----------------------------------------------------
+
+    def _build_blocks(self) -> None:
+        leaders = {0}
+        for inst in self.instructions:
+            if inst.is_branch:
+                assert inst.target_pc is not None
+                leaders.add(inst.target_pc)
+                nxt = inst.pc + INSTRUCTION_BYTES
+                if nxt < self.end_pc:
+                    leaders.add(nxt)
+            elif inst.is_exit:
+                nxt = inst.pc + INSTRUCTION_BYTES
+                if nxt < self.end_pc:
+                    leaders.add(nxt)
+        ordered = sorted(leaders)
+        for bidx, start in enumerate(ordered):
+            stop = ordered[bidx + 1] if bidx + 1 < len(ordered) else self.end_pc
+            block = BasicBlock(index=bidx, start_pc=start)
+            pc = start
+            while pc < stop:
+                block.instructions.append(self._by_pc[pc])
+                self._block_of_pc[pc] = bidx
+                pc += INSTRUCTION_BYTES
+            self.blocks.append(block)
+
+    def _build_cfg(self) -> None:
+        for block in self.blocks:
+            self.cfg.add_node(block.index)
+        self.cfg.add_node(EXIT_NODE)
+        for block in self.blocks:
+            term = block.terminator
+            if term.is_exit and term.guard is None:
+                self.cfg.add_edge(block.index, EXIT_NODE)
+                continue
+            if term.is_branch:
+                target_block = self._block_of_pc[term.target_pc]
+                self.cfg.add_edge(block.index, target_block)
+                if term.guard is None:
+                    continue  # unconditional branch: no fall-through
+            # Fall-through edge (also for predicated exit / branch).
+            nxt = term.pc + INSTRUCTION_BYTES
+            if nxt < self.end_pc:
+                self.cfg.add_edge(block.index, self._block_of_pc[nxt])
+            else:
+                self.cfg.add_edge(block.index, EXIT_NODE)
+
+    def _compute_reconvergence(self) -> None:
+        """Immediate post-dominator of each branch block.
+
+        Post-dominators are dominators of the reversed CFG rooted at the
+        virtual exit.  Blocks unreachable from entry keep reconvergence
+        at kernel exit.
+        """
+        reverse = self.cfg.reverse(copy=True)
+        ipdom = nx.immediate_dominators(reverse, EXIT_NODE)
+        for inst in self.instructions:
+            if not inst.is_branch:
+                continue
+            block = self._block_of_pc[inst.pc]
+            node = ipdom.get(block)
+            if node is None or node == EXIT_NODE or node == block:
+                self._reconvergence[inst.pc] = None
+            else:
+                self._reconvergence[inst.pc] = self.blocks[node].start_pc
+
+    # -- pretty printing ---------------------------------------------------
+
+    def listing(self, annotate=None) -> str:
+        """Disassembly listing; ``annotate(inst) -> str`` adds a column."""
+        pc_to_label = {pc: lbl for lbl, pc in self.labels.items()}
+        lines = [f".kernel {self.name}"]
+        for pname in self.params:
+            lines.append(f".param {pname}")
+        if self.shared_words:
+            lines.append(f".shared {self.shared_words}")
+        for inst in self.instructions:
+            if inst.pc in pc_to_label:
+                lines.append(f"{pc_to_label[inst.pc]}:")
+            prefix = f"  {annotate(inst):>4} " if annotate else "  "
+            lines.append(f"{prefix}{inst.pc:#06x}  {inst}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Program({self.name!r}, {len(self.instructions)} insns, {len(self.blocks)} blocks)"

@@ -1,0 +1,74 @@
+"""GPU configuration (Table 2) and scaled variants for experiments.
+
+``PASCAL_GTX1080TI`` mirrors Table 2: 28 SMs, 64 warps/SM, 32 TBs/SM,
+32-wide SIMD, 4 GTO warp schedulers per SM, 96 KB shared memory, 2K
+vector registers per SM, and the published register-file energies
+(14.2 pJ/read, 25.9 pJ/write).
+
+A pure-Python cycle model cannot sweep 28 SMs over 13 benchmarks x 6
+configs in reasonable time, so experiments use :func:`small_config`
+(fewer SMs, same per-SM microarchitecture).  Speedups are per-SM
+phenomena — every config in a comparison uses the same scaling, so
+relative results are preserved; DESIGN.md documents this substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Microarchitectural parameters of the simulated GPU."""
+
+    name: str = "pascal"
+    # -- chip-level ------------------------------------------------------
+    num_sms: int = 28
+    warp_size: int = 32
+    max_warps_per_sm: int = 64
+    max_tbs_per_sm: int = 32
+    vector_registers_per_sm: int = 2048
+    # -- frontend ----------------------------------------------------------
+    fetch_warps_per_cycle: int = 1      # fetch scheduler initiates one I-cache fetch
+    fetch_width: int = 2                # instructions brought in per fetch
+    ibuffer_entries: int = 2            # per-warp I-buffer (Section 3)
+    # -- issue ---------------------------------------------------------------
+    num_schedulers: int = 4             # warp schedulers per SM (Table 2)
+    issue_width: int = 2                # "at most two instructions from one warp each"
+    #: warp scheduling policy: "gto" (greedy-then-oldest, Table 2) or
+    #: "lrr" (loose round-robin).  Section 5: the paper swept schedulers
+    #: and found these regular applications insensitive, with GTO best.
+    scheduler_policy: str = "gto"
+    # -- execution latencies (cycles) -------------------------------------
+    alu_latency: int = 4
+    sfu_latency: int = 20
+    alu_throughput_per_scheduler: int = 2
+    sfu_throughput_per_scheduler: int = 1
+    # -- register file ------------------------------------------------------
+    rf_banks: int = 16
+    operand_collector_slots: int = 8
+    # -- memory system -------------------------------------------------------
+    shared_latency: int = 24
+    shared_banks: int = 32
+    l1_hit_latency: int = 28
+    l1_lines: int = 256                # 32 KB of 128B lines
+    l1_assoc: int = 4
+    line_bytes: int = 128
+    dram_latency: int = 320
+    dram_requests_per_cycle: int = 2   # per-SM bandwidth cap on in-flight issues
+    max_outstanding_mem: int = 64
+    # -- safety ---------------------------------------------------------------
+    max_cycles: int = 5_000_000
+
+    def scaled(self, **overrides) -> "GPUConfig":
+        """A copy with selected fields replaced."""
+        return replace(self, **overrides)
+
+
+#: The paper's baseline card (Table 2).
+PASCAL_GTX1080TI = GPUConfig(name="gtx1080ti")
+
+
+def small_config(num_sms: int = 1, **overrides) -> GPUConfig:
+    """Experiment-scale config: same SM microarchitecture, fewer SMs."""
+    return PASCAL_GTX1080TI.scaled(name=f"pascal-{num_sms}sm", num_sms=num_sms, **overrides)

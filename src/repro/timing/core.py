@@ -1,0 +1,491 @@
+"""Cycle-level SM (streaming multiprocessor) model.
+
+Pipeline per Section 3 / Figure 4:
+
+1. **Fetch** — a loose-round-robin scheduler initiates one I-cache fetch
+   per cycle for a warp with free I-buffer entries; up to ``fetch_width``
+   consecutive instructions enter the warp's two-entry I-buffer.  Fetch
+   stalls after a control instruction until it resolves (no prediction).
+2. **Issue** — ``num_schedulers`` GTO (greedy-then-oldest) schedulers
+   each issue up to ``issue_width`` instructions from one warp per
+   cycle, subject to a scoreboard over in-flight destinations.
+3. **Execute** — instructions execute *functionally* at issue through
+   :class:`repro.simt.FunctionalEngine`; a latency by functional-unit
+   class (ALU/SFU/LDST + memory system) schedules writeback.
+4. **Writeback** — completed instructions release scoreboard entries and
+   fire the frontend's LeaderWB hook.
+
+Operand reads model register-file bank conflicts, including the extra
+conflicts DARSIE causes by pointing follower warps at the renamed
+register space (Section 6.1).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.isa.instructions import INSTRUCTION_BYTES, Instruction, Opcode
+from repro.isa.operands import MemSpace
+from repro.simt.executor import ExecutionContext, FunctionalEngine, StepResult, ThreadBlockState
+from repro.timing.config import GPUConfig
+from repro.timing.frontend import FetchAction, Frontend
+from repro.timing.memory_system import MemorySystem
+from repro.timing.stats import EnergyEvent, SimStats
+
+
+@dataclass
+class IBufferEntry:
+    """One decoded instruction waiting to issue."""
+
+    inst: Instruction
+    is_leader: bool = False
+    #: operand values captured at fetch time (renamed sources)
+    overrides: Optional[Dict] = None
+    #: DAC-IDEAL zero-cost instruction (drains outside issue bandwidth,
+    #: executing functionally when it reaches the head of the queue)
+    free: bool = False
+    #: DARSIE skip token: the instruction was eliminated before fetch —
+    #: the token only advances the architectural PC, in program order,
+    #: when it reaches the head of the queue
+    skip_token: bool = False
+
+
+class WarpRuntime:
+    """Per-warp pipeline state wrapped around the architectural warp."""
+
+    def __init__(self, warp, tb_rt: "TBRuntime", scheduler_id: int, age: int):
+        self.warp = warp
+        self.tb_rt = tb_rt
+        self.scheduler_id = scheduler_id
+        self.age = age
+        self.fetch_pc: int = warp.pc
+        self.ibuffer: Deque[IBufferEntry] = deque()
+        #: fetch stalled after a control instruction until it executes
+        self.cf_stalled: bool = False
+        #: blocked at a TB-wide branch barrier (DARSIE / SILICON-SYNC)
+        self.branch_sync_blocked: bool = False
+        #: blocked by the DARSIE skip engine (leaderWB / freelist sync)
+        self.skip_blocked: bool = False
+        #: one-shot: execute the instruction at this PC privately even
+        #: though it is statically skippable (entry was invalidated)
+        self.bypass_pcs: Set[int] = set()
+        self.scoreboard: Set[Tuple[str, str]] = set()
+        self.inflight: int = 0
+
+    @property
+    def exited(self) -> bool:
+        return self.warp.exited
+
+    def buffered(self) -> int:
+        """I-buffer occupancy counted against capacity (free entries and
+        skip tokens were never fetched and occupy no real slots)."""
+        return sum(1 for e in self.ibuffer if not e.free and not e.skip_token)
+
+    def fetch_ready(self) -> bool:
+        return not (
+            self.exited
+            or self.cf_stalled
+            or self.branch_sync_blocked
+            or self.warp.at_barrier
+        )
+
+    def resync_fetch(self) -> None:
+        """Re-point the frontend at the architectural PC (post-branch)."""
+        self.fetch_pc = self.warp.pc
+        self.cf_stalled = False
+
+
+class TBRuntime:
+    """A threadblock resident on an SM."""
+
+    def __init__(self, tb: ThreadBlockState, warps: List[WarpRuntime], seq: int):
+        self.tb = tb
+        self.warps = warps
+        self.seq = seq
+        self.frontend_state: Dict = {}
+        self.completed = False
+
+    def live_warps(self) -> List[WarpRuntime]:
+        return [w for w in self.warps if not w.exited]
+
+
+def _scoreboard_keys(inst: Instruction) -> Tuple[List[Tuple[str, str]], List[Tuple[str, str]]]:
+    """(source keys, dest keys) for hazard checking."""
+    srcs = [("r", r.name) for r in inst.source_registers()]
+    srcs += [("p", p.name) for p in inst.source_predicates()]
+    dests = []
+    dreg = inst.dest_register()
+    if dreg is not None:
+        dests.append(("r", dreg.name))
+    dpred = inst.dest_predicate()
+    if dpred is not None:
+        dests.append(("p", dpred.name))
+    return srcs, dests
+
+
+class SMCore:
+    """One streaming multiprocessor."""
+
+    def __init__(
+        self,
+        sm_id: int,
+        config: GPUConfig,
+        ctx: ExecutionContext,
+        engine: FunctionalEngine,
+        frontend: Frontend,
+    ):
+        self.sm_id = sm_id
+        self.config = config
+        self.ctx = ctx
+        self.engine = engine
+        self.frontend = frontend
+        self.stats = SimStats()
+        self.memory = MemorySystem(config, self.stats)
+        self.tbs: List[TBRuntime] = []
+        self.warps: List[WarpRuntime] = []
+        self._inflight: List[Tuple[int, int, WarpRuntime, Instruction, dict]] = []
+        self._seq = 0
+        self._fetch_rr = 0
+        self.cycle = 0
+        #: optional per-cycle event recorder (repro.timing.pipeline_trace)
+        self.pipeline_trace = None
+        self._greedy: Dict[int, Optional[WarpRuntime]] = {
+            s: None for s in range(config.num_schedulers)
+        }
+        self._issue_rr: Dict[int, int] = {s: 0 for s in range(config.num_schedulers)}
+        self._tb_seq = 0
+        self._warp_age = 0
+        self.completed_tbs: List[TBRuntime] = []
+        frontend.bind(self)
+
+    # -- residency ---------------------------------------------------------
+
+    def can_accept_tb(self, warps_needed: int) -> bool:
+        live_warps = sum(1 for w in self.warps if not w.exited)
+        live_tbs = sum(1 for tb in self.tbs if not tb.completed)
+        return (
+            live_warps + warps_needed <= self.config.max_warps_per_sm
+            and live_tbs < self.config.max_tbs_per_sm
+        )
+
+    def launch_tb(self, tb_index: int) -> TBRuntime:
+        tb = ThreadBlockState(self.ctx, tb_index)
+        tb_rt = TBRuntime(tb, [], self._tb_seq)
+        self._tb_seq += 1
+        for warp in tb.warps:
+            scheduler = self._warp_age % self.config.num_schedulers
+            wrt = WarpRuntime(warp, tb_rt, scheduler, self._warp_age)
+            self._warp_age += 1
+            tb_rt.warps.append(wrt)
+            self.warps.append(wrt)
+        self.tbs.append(tb_rt)
+        self.frontend.on_tb_launch(tb_rt)
+        return tb_rt
+
+    @property
+    def busy(self) -> bool:
+        return any(not tb.completed for tb in self.tbs)
+
+    # -- main loop ------------------------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        self.cycle = cycle
+        self._writeback(cycle)
+        self._drain_free(cycle)
+        self._issue(cycle)
+        self.frontend.fetch_cycle(cycle)
+        self._fetch(cycle)
+        self._account_waits()
+
+    def _account_waits(self) -> None:
+        for w in self.warps:
+            if not w.exited and (w.skip_blocked or w.branch_sync_blocked):
+                self.stats.sync_wait_cycles += 1
+                if self.pipeline_trace is not None:
+                    self.pipeline_trace.record(
+                        self.cycle, self.sm_id, w.tb_rt.tb.tb_index,
+                        w.warp.warp_id, "B", w.fetch_pc,
+                    )
+
+    # -- writeback ---------------------------------------------------------------
+
+    def _writeback(self, cycle: int) -> None:
+        while self._inflight and self._inflight[0][0] <= cycle:
+            _ready, _seq, wrt, inst, meta = heapq.heappop(self._inflight)
+            wrt.inflight -= 1
+            if self.pipeline_trace is not None:
+                self.pipeline_trace.record(
+                    cycle, self.sm_id, wrt.tb_rt.tb.tb_index, wrt.warp.warp_id, "W", inst.pc
+                )
+            for key in meta.get("dests", ()):
+                wrt.scoreboard.discard(key)
+            if meta.get("dests"):
+                self.stats.count(EnergyEvent.RF_WRITE)
+            self.frontend.on_writeback(wrt, inst, meta)
+
+    # -- issue ------------------------------------------------------------------
+
+    def _hazard(self, wrt: WarpRuntime, inst: Instruction) -> bool:
+        srcs, dests = _scoreboard_keys(inst)
+        sb = wrt.scoreboard
+        return any(k in sb for k in srcs) or any(k in sb for k in dests)
+
+    def _drain_free(self, cycle: int) -> None:
+        """Zero-cost, in-order drain of eliminated instructions.
+
+        DARSIE skip tokens only advance the architectural PC (the leader
+        executed the instruction; the follower shares its value through
+        renaming).  DAC-IDEAL free entries execute functionally — the
+        idealized affine stream — without pipeline cost.
+        """
+        for wrt in self.warps:
+            while wrt.ibuffer and (wrt.ibuffer[0].free or wrt.ibuffer[0].skip_token):
+                entry = wrt.ibuffer[0]
+                if entry.skip_token:
+                    wrt.ibuffer.popleft()
+                    assert wrt.warp.pc == entry.inst.pc, (
+                        f"skip token out of order: arch pc {wrt.warp.pc:#x}, "
+                        f"token pc {entry.inst.pc:#x}"
+                    )
+                    wrt.warp.pc += INSTRUCTION_BYTES
+                    wrt.warp.maybe_reconverge()
+                    continue
+                if self._hazard(wrt, entry.inst):
+                    break
+                wrt.ibuffer.popleft()
+                self.engine.execute_instruction(wrt.tb_rt.tb, wrt.warp, entry.inst)
+                self.stats.instructions_skipped += 1
+
+    def _issue(self, cycle: int) -> None:
+        by_scheduler: Dict[int, List[WarpRuntime]] = {
+            s: [] for s in range(self.config.num_schedulers)
+        }
+        for wrt in self.warps:
+            if not wrt.exited and wrt.ibuffer:
+                by_scheduler[wrt.scheduler_id].append(wrt)
+        for sched, candidates in by_scheduler.items():
+            if not candidates:
+                continue
+            if self.config.scheduler_policy == "lrr":
+                # Loose round-robin: rotate priority each cycle.
+                candidates.sort(key=lambda w: w.age)
+                rot = self._issue_rr[sched] % len(candidates)
+                candidates = candidates[rot:] + candidates[:rot]
+                self._issue_rr[sched] += 1
+            else:
+                # Greedy-then-oldest (Table 2's GTO).
+                candidates.sort(key=lambda w: w.age)
+                greedy = self._greedy[sched]
+                if greedy in candidates:
+                    candidates.remove(greedy)
+                    candidates.insert(0, greedy)
+            issued_from: Optional[WarpRuntime] = None
+            for wrt in candidates:
+                issued = self._issue_from_warp(cycle, wrt)
+                if issued:
+                    issued_from = wrt
+                    break
+            self._greedy[sched] = issued_from
+
+    def _issue_from_warp(self, cycle: int, wrt: WarpRuntime) -> int:
+        issued = 0
+        while issued < self.config.issue_width and wrt.ibuffer:
+            entry = wrt.ibuffer[0]
+            if entry.free or entry.skip_token:
+                break  # handled by the zero-cost drain
+            if wrt.warp.at_barrier or wrt.branch_sync_blocked:
+                break
+            if self._hazard(wrt, entry.inst):
+                break
+            wrt.ibuffer.popleft()
+            self._execute(cycle, wrt, entry)
+            issued += 1
+            if entry.inst.opcode in (Opcode.BRA, Opcode.EXIT, Opcode.BAR):
+                break
+        return issued
+
+    def _execute(self, cycle: int, wrt: WarpRuntime, entry: IBufferEntry) -> None:
+        inst = entry.inst
+        if self.pipeline_trace is not None:
+            self.pipeline_trace.record(
+                cycle, self.sm_id, wrt.tb_rt.tb.tb_index, wrt.warp.warp_id, "I", inst.pc
+            )
+        stats = self.stats
+        stats.instructions_issued += 1
+        stats.count(EnergyEvent.ISSUE)
+        srcs, dests = _scoreboard_keys(inst)
+        stats.count(EnergyEvent.RF_READ, len(srcs))
+        stats.rf_bank_conflicts += self._bank_conflicts(srcs, entry)
+
+        eliminate_kind = self.frontend.eliminate_at_issue(wrt, inst)
+        overrides = entry.overrides or {}
+        result = self.engine.execute_instruction(
+            wrt.tb_rt.tb,
+            wrt.warp,
+            inst,
+            reg_overrides=overrides.get("regs"),
+            pred_overrides=overrides.get("preds"),
+        )
+        stats.instructions_executed += 1
+
+        if eliminate_kind is not None:
+            stats.executions_eliminated += 1
+            stats.eliminated_by_class[eliminate_kind] += 1
+            ready = cycle + 1
+        else:
+            ready = self._latency(cycle, inst, result)
+
+        meta = {"dests": dests, "is_leader": entry.is_leader, "result": result}
+        for key in dests:
+            wrt.scoreboard.add(key)
+        if dests or entry.is_leader:
+            self._seq += 1
+            wrt.inflight += 1
+            heapq.heappush(self._inflight, (ready, self._seq, wrt, inst, meta))
+
+        self._post_execute(cycle, wrt, inst, result)
+
+    def _bank_conflicts(self, srcs, entry: IBufferEntry) -> int:
+        """Same-cycle operand bank collisions (coarse operand-collector
+        model: each distinct source register occupies one bank read)."""
+        banks = [hash(k) % self.config.rf_banks for k in srcs]
+        conflicts = len(banks) - len(set(banks))
+        if entry.overrides:
+            # Renamed operands live in the strided rename space; reads
+            # from it collide with the warp's own operand reads
+            # (Section 6.1's DARSIE-induced bank conflicts).
+            rename_banks = entry.overrides.get("banks", ())
+            collide = sum(1 for b in rename_banks if b in banks)
+            conflicts += collide
+            self.stats.darsie_bank_conflicts += collide
+        return conflicts
+
+    def _latency(self, cycle: int, inst: Instruction, result: StepResult) -> int:
+        cfg = self.config
+        if inst.is_memory:
+            assert inst.mem is not None
+            addresses = result.mem_addresses
+            if addresses is None:
+                return cycle + 1
+            mask = result.exec_mask
+            if inst.mem.space is MemSpace.SHARED:
+                return self.memory.shared_access(cycle, addresses, mask)
+            return self.memory.global_access(cycle, addresses, mask, inst.is_store)
+        if inst.uses_sfu:
+            self.stats.count(EnergyEvent.SFU_OP)
+            return cycle + cfg.sfu_latency
+        if inst.opcode in (Opcode.BRA, Opcode.EXIT, Opcode.BAR, Opcode.NOP):
+            return cycle + 1
+        self.stats.count(EnergyEvent.ALU_OP)
+        return cycle + cfg.alu_latency
+
+    def _post_execute(self, cycle: int, wrt: WarpRuntime, inst: Instruction, result) -> None:
+        self.frontend.on_executed(wrt, inst, result)
+
+        if inst.is_store:
+            self.frontend.on_store(wrt.tb_rt)
+        if inst.is_atomic and inst.mem.space is MemSpace.GLOBAL:
+            self.frontend.on_global_communication()
+
+        if inst.is_branch:
+            if self.frontend.blocks_after_branch(wrt, inst):
+                wrt.branch_sync_blocked = True
+            else:
+                wrt.resync_fetch()
+            return
+        if inst.is_barrier:
+            self._maybe_release_barrier(wrt.tb_rt)
+            return
+        if inst.is_exit:
+            if result.retired:
+                self._on_warp_retired(wrt)
+            else:
+                wrt.resync_fetch()
+            return
+        if wrt.warp.pc != inst.pc + INSTRUCTION_BYTES:
+            # A reconvergence pop switched the warp to another divergent
+            # path (non-sequential PC without a branch): the straight-line
+            # prefetch past the reconvergence point is wrong-path.
+            wrt.ibuffer.clear()
+            wrt.resync_fetch()
+
+    def _maybe_release_barrier(self, tb_rt: TBRuntime) -> None:
+        if tb_rt.tb.release_barrier_if_ready():
+            self.frontend.on_syncthreads(tb_rt)
+            for w in tb_rt.warps:
+                if not w.exited:
+                    w.resync_fetch()
+
+    def _on_warp_retired(self, wrt: WarpRuntime) -> None:
+        self.frontend.on_warp_exit(wrt)
+        tb_rt = wrt.tb_rt
+        self._maybe_release_barrier(tb_rt)
+        if all(w.exited for w in tb_rt.warps) and not tb_rt.completed:
+            tb_rt.completed = True
+            self.frontend.on_tb_complete(tb_rt)
+            self.completed_tbs.append(tb_rt)
+            self.warps = [w for w in self.warps if w.tb_rt is not tb_rt]
+            self.tbs = [t for t in self.tbs if t is not tb_rt]
+
+    # -- fetch --------------------------------------------------------------------
+
+    def _fetch(self, cycle: int) -> None:
+        n = len(self.warps)
+        if n == 0:
+            return
+        for initiated in range(self.config.fetch_warps_per_cycle):
+            chosen = None
+            for i in range(n):
+                wrt = self.warps[(self._fetch_rr + i) % n]
+                if not wrt.fetch_ready() or wrt.skip_blocked:
+                    continue
+                if wrt.buffered() >= self.config.ibuffer_entries:
+                    continue
+                if wrt.fetch_pc >= self.ctx.program.end_pc:
+                    continue
+                action = self.frontend.filter_fetch(wrt, wrt.fetch_pc)
+                if action in (FetchAction.HANDLED, FetchAction.WAIT):
+                    continue
+                chosen = (wrt, action)
+                self._fetch_rr = (self._fetch_rr + i + 1) % n
+                break
+            if chosen is None:
+                return
+            wrt, action = chosen
+            self.stats.count(EnergyEvent.ICACHE_FETCH)
+            self._fetch_into(wrt, action)
+
+    def _fetch_into(self, wrt: WarpRuntime, first_action: FetchAction) -> None:
+        fetched = 0
+        action = first_action
+        while (
+            fetched < self.config.fetch_width
+            and wrt.buffered() < self.config.ibuffer_entries
+        ):
+            if action in (FetchAction.HANDLED, FetchAction.WAIT):
+                break
+            inst = self.ctx.program.at(wrt.fetch_pc)
+            is_leader = action is FetchAction.FETCH_LEADER
+            overrides = self.frontend.on_fetch(wrt, inst, is_leader)
+            wrt.ibuffer.append(IBufferEntry(inst=inst, is_leader=is_leader, overrides=overrides))
+            if self.pipeline_trace is not None:
+                self.pipeline_trace.record(
+                    self.cycle, self.sm_id, wrt.tb_rt.tb.tb_index, wrt.warp.warp_id, "F", inst.pc
+                )
+            self.stats.instructions_fetched += 1
+            self.stats.instructions_decoded += 1
+            self.stats.count(EnergyEvent.DECODE)
+            wrt.bypass_pcs.discard(wrt.fetch_pc)
+            wrt.fetch_pc += INSTRUCTION_BYTES
+            fetched += 1
+            if inst.opcode in (Opcode.BRA, Opcode.EXIT, Opcode.BAR):
+                wrt.cf_stalled = True
+                break
+            if wrt.fetch_pc >= self.ctx.program.end_pc:
+                break
+            action = self.frontend.filter_fetch(wrt, wrt.fetch_pc)

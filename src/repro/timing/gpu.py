@@ -1,0 +1,197 @@
+"""Whole-GPU simulation: TB dispatch across SMs and the cycle loop.
+
+Threadblocks are dispatched to SMs round-robin at kernel launch, up to
+each SM's residency limits (warps and TBs, Table 2); as TBs complete,
+pending TBs launch in their place — the standard GPU work distribution
+the paper's baseline inherits from GPGPU-Sim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.isa.program import Program
+from repro.simt.executor import ExecutionContext, FunctionalEngine
+from repro.simt.grid import LaunchConfig
+from repro.simt.memory import GlobalMemory, KernelParams
+from repro.timing.config import GPUConfig
+from repro.timing.core import SMCore
+from repro.timing.frontend import Frontend, NullFrontend
+from repro.timing.stats import SimStats
+
+
+class DeadlockError(RuntimeError):
+    """The simulation made no forward progress for many cycles."""
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one timing simulation."""
+
+    frontend_name: str
+    cycles: int
+    stats: SimStats
+    per_sm_stats: List[SimStats]
+    config: GPUConfig
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.instructions_executed / max(1, self.cycles)
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        return baseline.cycles / max(1, self.cycles)
+
+    def to_dict(self) -> dict:
+        """Plain-data form for archiving / cross-run comparison."""
+        return {
+            "frontend": self.frontend_name,
+            "cycles": self.cycles,
+            "ipc": self.ipc,
+            "config": self.config.name,
+            "num_sms": self.config.num_sms,
+            "counters": {
+                "fetched": self.stats.instructions_fetched,
+                "decoded": self.stats.instructions_decoded,
+                "issued": self.stats.instructions_issued,
+                "executed": self.stats.instructions_executed,
+                "skipped": self.stats.instructions_skipped,
+                "eliminated": self.stats.executions_eliminated,
+                "leaders_elected": self.stats.leaders_elected,
+                "follower_skips": self.stats.follower_skips,
+                "branch_barriers": self.stats.branch_barriers,
+                "sync_wait_cycles": self.stats.sync_wait_cycles,
+                "freelist_syncs": self.stats.freelist_syncs,
+                "load_entries_invalidated": self.stats.load_entries_invalidated,
+                "warps_left_majority": self.stats.warps_left_majority,
+                "l1_hits": self.stats.l1_hits,
+                "l1_misses": self.stats.l1_misses,
+            },
+            "skipped_by_class": dict(self.stats.skipped_by_class),
+            "eliminated_by_class": dict(self.stats.eliminated_by_class),
+            "energy_events": {e.value: n for e, n in self.stats.energy_events.items()},
+        }
+
+    def to_json(self, **kwargs) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), **kwargs)
+
+
+class GPU:
+    """A collection of SM cores sharing a kernel launch."""
+
+    def __init__(
+        self,
+        program: Program,
+        launch: LaunchConfig,
+        memory: GlobalMemory,
+        params: Optional[Dict] = None,
+        config: Optional[GPUConfig] = None,
+        frontend_factory: Optional[Callable[[], Frontend]] = None,
+    ):
+        self.config = config or GPUConfig()
+        if launch.warp_size != self.config.warp_size:
+            raise ValueError(
+                f"launch warp size {launch.warp_size} != config {self.config.warp_size}"
+            )
+        self.ctx = ExecutionContext(
+            program=program,
+            launch=launch,
+            memory=memory,
+            params=KernelParams(params or {}),
+        )
+        self.engine = FunctionalEngine(self.ctx)
+        factory = frontend_factory or NullFrontend
+        self.sms = [
+            SMCore(i, self.config, self.ctx, self.engine, factory())
+            for i in range(self.config.num_sms)
+        ]
+        self._pending = list(range(launch.num_blocks))
+        self._dispatch_rr = 0
+
+    def attach_trace(self, trace) -> None:
+        """Record per-cycle pipeline events into ``trace``
+        (:class:`repro.timing.pipeline_trace.PipelineTrace`)."""
+        for sm in self.sms:
+            sm.pipeline_trace = trace
+
+    def _dispatch(self) -> None:
+        warps_needed = self.ctx.launch.warps_per_block
+        stalled = 0
+        while self._pending and stalled < len(self.sms):
+            sm = self.sms[self._dispatch_rr % len(self.sms)]
+            self._dispatch_rr += 1
+            if sm.can_accept_tb(warps_needed):
+                sm.launch_tb(self._pending.pop(0))
+                stalled = 0
+            else:
+                stalled += 1
+
+    def run(self) -> SimulationResult:
+        self._dispatch()
+        cycle = 0
+        watchdog_executed = -1
+        watchdog_cycle = 0
+        while self._pending or any(sm.busy for sm in self.sms):
+            for sm in self.sms:
+                if sm.busy:
+                    sm.tick(cycle)
+            if any(sm.completed_tbs for sm in self.sms):
+                for sm in self.sms:
+                    sm.completed_tbs.clear()
+                self._dispatch()
+            cycle += 1
+            if cycle >= self.config.max_cycles:
+                raise DeadlockError(f"exceeded max_cycles={self.config.max_cycles}")
+            executed = self.engine.instructions_executed
+            if executed != watchdog_executed:
+                watchdog_executed = executed
+                watchdog_cycle = cycle
+            elif cycle - watchdog_cycle > 50_000:
+                raise DeadlockError(
+                    f"no instruction executed for 50k cycles at cycle {cycle}; "
+                    f"blocked warps: "
+                    + ", ".join(
+                        f"sm{sm.sm_id}/w{w.age}@{w.fetch_pc:#x}"
+                        f"{'S' if w.skip_blocked else ''}"
+                        f"{'B' if w.branch_sync_blocked else ''}"
+                        f"{'C' if w.cf_stalled else ''}"
+                        f"{'Y' if w.warp.at_barrier else ''}"
+                        for sm in self.sms
+                        for w in sm.warps
+                        if not w.exited
+                    )
+                )
+        merged = SimStats()
+        for sm in self.sms:
+            sm.stats.cycles = cycle
+            merged.merge(sm.stats)
+        merged.cycles = cycle
+        return SimulationResult(
+            frontend_name=self.sms[0].frontend.name if self.sms else "BASE",
+            cycles=cycle,
+            stats=merged,
+            per_sm_stats=[sm.stats for sm in self.sms],
+            config=self.config,
+        )
+
+
+def simulate(
+    program: Program,
+    launch: LaunchConfig,
+    memory: GlobalMemory,
+    params: Optional[Dict] = None,
+    config: Optional[GPUConfig] = None,
+    frontend_factory: Optional[Callable[[], Frontend]] = None,
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`GPU` and run it to completion."""
+    gpu = GPU(
+        program=program,
+        launch=launch,
+        memory=memory,
+        params=params,
+        config=config,
+        frontend_factory=frontend_factory,
+    )
+    return gpu.run()

@@ -1,0 +1,130 @@
+"""Per-SM memory system: transaction coalescer, L1 cache, DRAM latency.
+
+Global accesses from a warp are coalesced into 128-byte transactions
+(the granularity NVIDIA GPUs have used since Fermi).  Each transaction
+probes a set-associative L1; misses pay a fixed DRAM latency and consume
+per-cycle DRAM issue bandwidth, which creates queueing under contention.
+
+Shared-memory accesses model the classic 32-bank conflict rule: the
+access takes one inner cycle per maximum number of distinct words mapped
+to the same bank.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.timing.config import GPUConfig
+from repro.timing.stats import EnergyEvent, SimStats
+
+
+def coalesce_transactions(addresses: np.ndarray, mask: np.ndarray, line_bytes: int) -> List[int]:
+    """Unique memory-transaction line addresses for one warp access."""
+    if not mask.any():
+        return []
+    lines = np.unique(addresses[mask] // line_bytes)
+    return [int(line) for line in lines]
+
+
+def shared_bank_conflict_cycles(
+    addresses: np.ndarray, mask: np.ndarray, num_banks: int
+) -> int:
+    """Extra cycles from shared-memory bank conflicts (0 if conflict-free).
+
+    The bank of word-address ``w`` is ``w % num_banks``; lanes hitting
+    the same bank at *different* words serialise.  Broadcast (same word)
+    is free, as on real hardware.
+    """
+    if not mask.any():
+        return 0
+    words = addresses[mask] // 4
+    banks = words % num_banks
+    worst = 1
+    for bank in np.unique(banks):
+        distinct = len(np.unique(words[banks == bank]))
+        worst = max(worst, distinct)
+    return worst - 1
+
+
+class L1Cache:
+    """Set-associative, LRU, write-through no-allocate L1 data cache."""
+
+    def __init__(self, lines: int, assoc: int, line_bytes: int):
+        self.num_sets = max(1, lines // assoc)
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+
+    def access(self, line_addr: int, is_write: bool) -> bool:
+        """Probe for ``line_addr``; returns True on hit.  Reads allocate."""
+        idx = line_addr % self.num_sets
+        s = self._sets[idx]
+        if line_addr in s:
+            s.move_to_end(line_addr)
+            return True
+        if is_write:
+            return False  # write-through, no write-allocate
+        s[line_addr] = True
+        if len(s) > self.assoc:
+            s.popitem(last=False)
+        return False
+
+    def flush(self) -> None:
+        for s in self._sets:
+            s.clear()
+
+
+@dataclass
+class MemoryRequest:
+    """An in-flight warp memory operation (all its transactions)."""
+
+    ready_cycle: int
+    transactions: int
+
+
+class MemorySystem:
+    """Latency/bandwidth model shared by all warps of one SM."""
+
+    def __init__(self, config: GPUConfig, stats: SimStats):
+        self.config = config
+        self.stats = stats
+        self.l1 = L1Cache(config.l1_lines, config.l1_assoc, config.line_bytes)
+        #: earliest cycle at which the next DRAM request may issue
+        self._dram_free = 0.0
+
+    def global_access(
+        self, cycle: int, addresses: np.ndarray, mask: np.ndarray, is_write: bool
+    ) -> int:
+        """Issue a global access; returns the completion cycle."""
+        lines = coalesce_transactions(addresses, mask, self.config.line_bytes)
+        if not lines:
+            return cycle + 1
+        worst = cycle + 1
+        for line in lines:
+            self.stats.count(EnergyEvent.L1_ACCESS)
+            hit = self.l1.access(line, is_write)
+            if hit and not is_write:
+                self.stats.l1_hits += 1
+                done = cycle + self.config.l1_hit_latency
+            else:
+                if not is_write:
+                    self.stats.l1_misses += 1
+                self.stats.count(EnergyEvent.DRAM_ACCESS)
+                # Bandwidth queue: each DRAM request occupies a slot of
+                # 1/requests_per_cycle cycles at the memory controller.
+                start = max(float(cycle), self._dram_free)
+                self._dram_free = start + 1.0 / self.config.dram_requests_per_cycle
+                done = int(start) + self.config.dram_latency
+            worst = max(worst, done)
+        return worst
+
+    def shared_access(self, cycle: int, addresses: np.ndarray, mask: np.ndarray) -> int:
+        """Issue a shared-memory access; returns the completion cycle."""
+        self.stats.count(EnergyEvent.SHARED_ACCESS)
+        conflicts = shared_bank_conflict_cycles(addresses, mask, self.config.shared_banks)
+        self.stats.shared_bank_conflict_cycles += conflicts
+        return cycle + self.config.shared_latency + conflicts

@@ -1,0 +1,121 @@
+"""Simulation statistics and energy-event counting.
+
+Every microarchitectural event that costs energy is counted here by the
+timing core; :mod:`repro.energy.model` turns the counts into joules.
+Keeping counting separate from costing lets the energy model be swept
+without re-simulating.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class EnergyEvent(enum.Enum):
+    """Countable energy events (GPUWattch-style accounting)."""
+
+    ICACHE_FETCH = "icache_fetch"
+    DECODE = "decode"
+    ISSUE = "issue"
+    RF_READ = "rf_read"
+    RF_WRITE = "rf_write"
+    ALU_OP = "alu_op"
+    SFU_OP = "sfu_op"
+    SHARED_ACCESS = "shared_access"
+    L1_ACCESS = "l1_access"
+    DRAM_ACCESS = "dram_access"
+    # DARSIE-specific overhead events (Section 6.1: "most of the overhead
+    # comes from accessing the PC Skip Table, majority path mask and
+    # register rename table").
+    SKIP_TABLE_PROBE = "skip_table_probe"
+    SKIP_TABLE_WRITE = "skip_table_write"
+    PC_COALESCER = "pc_coalescer"
+    RENAME_READ = "rename_read"
+    RENAME_WRITE = "rename_write"
+    VERSION_TABLE = "version_table"
+    MAJORITY_MASK = "majority_mask"
+
+
+@dataclass
+class SimStats:
+    """Aggregated statistics of one timing simulation."""
+
+    cycles: int = 0
+    instructions_fetched: int = 0
+    instructions_decoded: int = 0
+    instructions_issued: int = 0
+    instructions_executed: int = 0
+    #: instructions removed before fetch (DARSIE / DAC-IDEAL)
+    instructions_skipped: int = 0
+    #: instructions whose execution was eliminated at issue (UV)
+    executions_eliminated: int = 0
+    #: skipped-instruction breakdown by redundancy class name
+    skipped_by_class: Counter = field(default_factory=Counter)
+    eliminated_by_class: Counter = field(default_factory=Counter)
+    #: cycles warps spent blocked on DARSIE synchronization
+    sync_wait_cycles: int = 0
+    branch_barriers: int = 0
+    rf_bank_conflicts: int = 0
+    darsie_bank_conflicts: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    shared_bank_conflict_cycles: int = 0
+    leaders_elected: int = 0
+    follower_skips: int = 0
+    freelist_syncs: int = 0
+    load_entries_invalidated: int = 0
+    warps_left_majority: int = 0
+    energy_events: Counter = field(default_factory=Counter)
+
+    def count(self, event: EnergyEvent, n: int = 1) -> None:
+        self.energy_events[event] += n
+
+    @property
+    def total_instruction_slots(self) -> int:
+        """Baseline-equivalent work: executed + skipped instructions."""
+        return self.instructions_executed + self.instructions_skipped
+
+    def merge(self, other: "SimStats") -> None:
+        """Accumulate another stats object into this one (multi-SM)."""
+        self.cycles = max(self.cycles, other.cycles)
+        for name in (
+            "instructions_fetched",
+            "instructions_decoded",
+            "instructions_issued",
+            "instructions_executed",
+            "instructions_skipped",
+            "executions_eliminated",
+            "sync_wait_cycles",
+            "branch_barriers",
+            "rf_bank_conflicts",
+            "darsie_bank_conflicts",
+            "l1_hits",
+            "l1_misses",
+            "shared_bank_conflict_cycles",
+            "leaders_elected",
+            "follower_skips",
+            "freelist_syncs",
+            "load_entries_invalidated",
+            "warps_left_majority",
+        ):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.skipped_by_class.update(other.skipped_by_class)
+        self.eliminated_by_class.update(other.eliminated_by_class)
+        self.energy_events.update(other.energy_events)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "cycles": self.cycles,
+            "fetched": self.instructions_fetched,
+            "executed": self.instructions_executed,
+            "skipped": self.instructions_skipped,
+            "eliminated": self.executions_eliminated,
+            "skip_fraction": (
+                self.instructions_skipped / self.total_instruction_slots
+                if self.total_instruction_slots
+                else 0.0
+            ),
+        }

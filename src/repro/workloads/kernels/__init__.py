@@ -1,0 +1,1 @@
+"""Kernel implementations of the Table 1 benchmarks."""

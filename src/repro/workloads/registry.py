@@ -1,0 +1,78 @@
+"""Table 1: the studied applications.
+
+Maps each benchmark abbreviation to its kernel module and records the
+paper's metadata (full name, source suite, TB dimensions).
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.workloads.base import Workload, require_scale
+
+
+@dataclass(frozen=True)
+class Table1Entry:
+    """One row of Table 1."""
+
+    abbr: str
+    name: str
+    suite: str
+    tb_dim: Tuple[int, int]
+    module: str
+
+    @property
+    def dimensionality(self) -> int:
+        return 2 if self.tb_dim[1] > 1 else 1
+
+
+#: Table 1, in the paper's order (1D benchmarks then 2D benchmarks).
+TABLE1: Dict[str, Table1Entry] = {
+    e.abbr: e
+    for e in [
+        Table1Entry("BIN", "binomialOptions", "CUDA SDK", (256, 1), "bin"),
+        Table1Entry("PT", "pathfinder", "Rodinia", (1024, 1), "pt"),
+        Table1Entry("FW", "fastWalshTransform", "CUDA SDK", (256, 1), "fw"),
+        Table1Entry("SR1", "SRADV1", "Rodinia", (512, 1), "sr1"),
+        Table1Entry("LIB", "LIB", "GPGPU-sim dist.", (256, 1), "lib"),
+        Table1Entry("IMNLM", "ImageDenoisingNLM", "CUDA SDK", (16, 16), "imnlm"),
+        Table1Entry("BP", "Backprop", "Rodinia", (16, 16), "bp"),
+        Table1Entry("DCT8x8", "DCT8x8", "CUDA SDK", (8, 8), "dct"),
+        Table1Entry("FWS", "Floyd-Warshall", "Pannotia", (16, 16), "fws"),
+        Table1Entry("HS", "HotSpot", "Rodinia", (16, 16), "hs"),
+        Table1Entry("CP", "CP", "GPGPU-sim dist.", (16, 8), "cp"),
+        Table1Entry("CONVTEX", "convolutionTexture", "CUDA SDK", (16, 16), "convtex"),
+        Table1Entry("MM", "MatrixMul", "CUDA SDK", (32, 32), "mm"),
+    ]
+}
+
+ONE_D_ABBRS: Tuple[str, ...] = ("BIN", "PT", "FW", "SR1", "LIB")
+TWO_D_ABBRS: Tuple[str, ...] = ("IMNLM", "BP", "DCT8x8", "FWS", "HS", "CP", "CONVTEX", "MM")
+ALL_ABBRS: Tuple[str, ...] = ONE_D_ABBRS + TWO_D_ABBRS
+
+
+def build_workload(abbr: str, scale: str = "small") -> Workload:
+    """Instantiate one Table 1 workload at the given scale."""
+    require_scale(scale)
+    try:
+        entry = TABLE1[abbr]
+    except KeyError:
+        raise KeyError(f"unknown workload {abbr!r}; known: {sorted(TABLE1)}") from None
+    module = importlib.import_module(f"repro.workloads.kernels.{entry.module}")
+    workload = module.build(scale)
+    assert workload.abbr == abbr, f"{entry.module}.build returned {workload.abbr}"
+    return workload
+
+
+def build_all(scale: str = "small", abbrs: Iterable[str] = ALL_ABBRS) -> List[Workload]:
+    return [build_workload(a, scale) for a in abbrs]
+
+
+def table1_rows() -> List[Tuple[str, str, str, str, int]]:
+    """Rows for rendering Table 1: (abbr, name, suite, tb_dim, dims)."""
+    return [
+        (e.abbr, e.name, e.suite, f"({e.tb_dim[0]},{e.tb_dim[1]})", e.dimensionality)
+        for e in TABLE1.values()
+    ]

@@ -1,0 +1,66 @@
+"""Unit tests for the per-PC opportunity profiler."""
+
+import pytest
+
+from repro import Marking
+from repro.analysis import opportunity_report
+from repro.harness.runner import WorkloadRunner
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def mm_report():
+    runner = WorkloadRunner(build_workload("MM", "tiny"))
+    return opportunity_report(
+        runner.analysis, runner.functional_trace(), runner.workload.launch
+    ), runner
+
+
+class TestReport:
+    def test_covers_every_static_instruction(self, mm_report):
+        report, runner = mm_report
+        assert len(report.rows) == len(runner.workload.program)
+
+    def test_executions_sum_to_trace(self, mm_report):
+        report, runner = mm_report
+        assert sum(r.executions for r in report.rows) == report.total_executions
+
+    def test_mm_captures_all_redundancy(self, mm_report):
+        """Regular MM has no blockers: everything redundant is skippable."""
+        report, _ = mm_report
+        assert report.captured_fraction() == 1.0
+        assert report.lost() == []
+
+    def test_render(self, mm_report):
+        report, _ = mm_report
+        text = report.render(limit=5)
+        assert "skippable" in text and "0x" in text
+
+
+class TestBlockers:
+    def test_store_and_atomic_blockers(self):
+        runner = WorkloadRunner(build_workload("FWS", "tiny"))
+        report = opportunity_report(
+            runner.analysis, runner.functional_trace(), runner.workload.launch
+        )
+        by_pc = {r.pc: r for r in report.rows}
+        stores = [i for i in runner.workload.program.instructions if i.is_store]
+        # Stores never skip; when their inputs happen to be redundant the
+        # profiler names the reason.
+        for st in stores:
+            assert not by_pc[st.pc].skippable
+            if by_pc[st.pc].redundant_executions:
+                assert by_pc[st.pc].blocker == "no destination register"
+
+    def test_1d_blockers_are_failed_promotion(self):
+        runner = WorkloadRunner(build_workload("FW", "tiny"))
+        report = opportunity_report(
+            runner.analysis, runner.functional_trace(), runner.workload.launch
+        )
+        # FW (1D) has some incidentally redundant vector-marked work.
+        vec_lost = [
+            r for r in report.lost()
+            if r.promoted is Marking.VECTOR and r.blocker
+        ]
+        for r in vec_lost:
+            assert "vector" in r.blocker

@@ -1,0 +1,107 @@
+"""Unit tests for the limit studies and survey."""
+
+import numpy as np
+import pytest
+
+from repro import Dim3, GlobalMemory, LaunchConfig, Tracer, assemble, run_functional
+from repro.analysis import (
+    default_survey,
+    geomean,
+    redundancy_levels,
+    taxonomy_breakdown,
+)
+from repro.analysis.limit_study import average_levels
+from repro.analysis.stats import percent
+
+
+def trace_of(src, block, warp=4, grid=1, data=None):
+    prog = assemble(src)
+    mem = GlobalMemory(4096)
+    params = {"out": mem.alloc(64)}
+    if data is not None:
+        params["tab"] = mem.alloc_array(data)
+    launch = LaunchConfig(grid_dim=Dim3(grid), block_dim=Dim3(*block), warp_size=warp)
+    tracer = Tracer()
+    run_functional(prog, launch, mem, params=params, tracer=tracer)
+    return tracer.trace
+
+
+SRC = """
+.param tab
+.param out
+    mul.u32 $a, %tid.x, 4
+    add.u32 $a, $a, %param.tab
+    ld.global.s32 $v, [$a]
+    mul.u32 $o, %tid.y, %ntid.x
+    add.u32 $o, $o, %tid.x
+    shl.u32 $o, $o, 2
+    add.u32 $o, $o, %param.out
+    st.global.s32 [$o], $v
+    exit
+"""
+
+DATA = np.array([9, 2, 7, 5, 1, 8, 3, 6], dtype=np.int64)
+
+
+class TestTaxonomyBreakdown:
+    def test_2d_has_all_classes(self):
+        b = taxonomy_breakdown(trace_of(SRC, (4, 2), data=DATA))
+        assert b.affine > 0
+        assert b.unstructured > 0
+        assert b.tb_redundant == pytest.approx(b.uniform + b.affine + b.unstructured)
+        total = b.tb_redundant + b.non_redundant
+        assert total == pytest.approx(1.0)
+
+    def test_1d_mostly_non_redundant(self):
+        b = taxonomy_breakdown(trace_of(SRC, (8, 1), data=DATA))
+        assert b.affine == 0.0
+        assert b.unstructured == 0.0
+
+    def test_empty_trace_rejected(self):
+        from repro.simt.tracer import ExecutionTrace
+
+        with pytest.raises(ValueError):
+            taxonomy_breakdown(ExecutionTrace())
+
+
+class TestRedundancyLevels:
+    def test_tb_at_least_grid(self):
+        lv = redundancy_levels(trace_of(SRC, (4, 2), grid=2, data=DATA))
+        assert lv.tb >= lv.grid
+        assert 0 <= lv.vector <= 1
+        # scalar + vector = 1 - tb (disjoint complements of tb)
+        assert lv.scalar + lv.vector == pytest.approx(1.0 - lv.tb)
+
+    def test_average(self):
+        lv = redundancy_levels(trace_of(SRC, (4, 2), data=DATA))
+        avg = average_levels([lv, lv])
+        assert avg.tb == pytest.approx(lv.tb)
+
+
+class TestStatsHelpers:
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([2.0]) == 2.0
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_percent(self):
+        assert percent(0.256) == "25.6%"
+
+
+class TestSurvey:
+    def test_matches_paper_aggregates(self):
+        s = default_survey()
+        assert s.num_applications == 133
+        assert s.fraction_multi_dimensional > 0.33
+        assert abs(s.fraction_library_multi_dimensional - 0.6) < 0.01
+        assert abs(s.mean_time_in_multi_dimensional_kernels - 0.71) < 0.02
+        assert len(s.promotion_failures()) == 1
+
+    def test_deterministic(self):
+        a, b = default_survey(), default_survey()
+        assert a.fraction_multi_dimensional == b.fraction_multi_dimensional

@@ -1,0 +1,108 @@
+"""Behavioural tests for the DAC-IDEAL baseline."""
+
+import numpy as np
+
+from repro import (
+    DacIdealFrontend,
+    Dim3,
+    GlobalMemory,
+    LaunchConfig,
+    assemble,
+    build_dac_profile,
+    run_functional,
+    simulate,
+    small_config,
+)
+
+CFG = small_config(num_sms=1)
+
+AFFINE_1D = """
+.param out
+    mul.u32 $a, %tid.x, 4
+    add.u32 $b, $a, 100
+    add.u32 $c, $b, %tid.y
+    shl.u32 $o, %tid.x, 2
+    add.u32 $o, $o, %param.out
+    st.global.s32 [$o], $c
+    exit
+"""
+
+
+def run_dac(src, block, grid=1):
+    prog = assemble(src)
+    launch = LaunchConfig(grid_dim=Dim3(grid), block_dim=Dim3(*block))
+    mem = GlobalMemory(1 << 13)
+    p = {"out": mem.alloc(256)}
+    profile = build_dac_profile(prog, launch, mem.words.copy(), p)
+    res = simulate(prog, launch, mem, params=p, config=CFG,
+                   frontend_factory=lambda: DacIdealFrontend(profile))
+    # functional reference
+    mem_f = GlobalMemory(1 << 13)
+    pf = {"out": mem_f.alloc(256)}
+    run_functional(prog, launch, mem_f, params=pf)
+    return res, profile, np.array_equal(mem.words, mem_f.words)
+
+
+class TestProfile:
+    def test_profile_finds_1d_affine(self):
+        """DAC removes affine computation even when it is NOT redundant
+        (1D tid.x chains) — its key advantage on 1D apps."""
+        res, profile, ok = run_dac(AFFINE_1D, (128, 1))
+        assert ok
+        assert res.stats.instructions_skipped > 0
+        assert "affine" in res.stats.skipped_by_class
+
+    def test_profile_excludes_memory_ops(self):
+        src = """
+        .param tab
+        .param out
+            mul.u32 $a, %tid.x, 4
+            add.u32 $a, $a, %param.tab
+            ld.global.s32 $v, [$a]
+            shl.u32 $o, %tid.x, 2
+            add.u32 $o, $o, %param.out
+            st.global.s32 [$o], $v
+            exit
+        """
+        prog = assemble(src)
+        launch = LaunchConfig(grid_dim=Dim3(1), block_dim=Dim3(16, 16))
+        mem = GlobalMemory(1 << 13)
+        p = {"tab": mem.alloc_array(np.arange(16)), "out": mem.alloc(256)}
+        profile = build_dac_profile(prog, launch, mem.words.copy(), p)
+        load_pc = 0x10
+        assert not any(pc == load_pc for (_tb, _w, pc, _o) in profile)
+
+    def test_one_warp_executes_per_instance(self):
+        prog = assemble(AFFINE_1D)
+        launch = LaunchConfig(grid_dim=Dim3(1), block_dim=Dim3(128))
+        mem = GlobalMemory(1 << 13)
+        p = {"out": mem.alloc(256)}
+        profile = build_dac_profile(prog, launch, mem.words.copy(), p)
+        # 4 warps; each profiled instance is free for exactly 3 of them.
+        by_instance = {}
+        for (tb, w, pc, occ) in profile:
+            by_instance.setdefault((tb, pc, occ), set()).add(w)
+        assert by_instance
+        assert all(len(ws) == 3 for ws in by_instance.values())
+
+    def test_profiling_does_not_disturb_memory(self):
+        prog = assemble(AFFINE_1D)
+        launch = LaunchConfig(grid_dim=Dim3(1), block_dim=Dim3(64))
+        mem = GlobalMemory(1 << 13)
+        p = {"out": mem.alloc(256)}
+        snapshot = mem.words.copy()
+        build_dac_profile(prog, launch, mem.words.copy(), p)
+        assert np.array_equal(mem.words, snapshot)
+
+
+class TestTiming:
+    def test_dac_faster_than_base_on_affine_kernel(self):
+        src = AFFINE_1D
+        prog = assemble(src)
+        launch = LaunchConfig(grid_dim=Dim3(4), block_dim=Dim3(128))
+        mem_b = GlobalMemory(1 << 13)
+        pb = {"out": mem_b.alloc(256)}
+        base = simulate(prog, launch, mem_b, params=pb, config=CFG)
+        res, _, ok = run_dac(src, (128, 1), grid=4)
+        assert ok
+        assert res.cycles <= base.cycles

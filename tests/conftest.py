@@ -1,0 +1,108 @@
+"""Shared fixtures: canonical kernels and launch shapes."""
+
+import numpy as np
+import pytest
+
+from repro import Dim3, GlobalMemory, LaunchConfig, assemble
+
+#: The Figure 3 kernel: array read indexed by tid.x.
+FIGURE3_SRC = """
+.kernel figure3
+.param base
+.param out
+    mul.u32        $r1, %tid.x, 4
+    add.u32        $r2, $r1, %param.base
+    ld.global.s32  $r3, [$r2]
+    mul.u32        $t, %tid.y, %ntid.x
+    add.u32        $t, $t, %tid.x
+    shl.u32        $t, $t, 2
+    add.u32        $t, $t, %param.out
+    st.global.s32  [$t], $r3
+    exit
+"""
+
+#: A loop kernel with a TB-redundant chain and a vector accumulator.
+LOOP_SRC = """
+.kernel loop
+.param tab
+.param out
+.param n
+    mul.u32        $a, %tid.x, 4
+    add.u32        $a, $a, %param.tab
+    mov.u32        $acc, 0
+    mov.u32        $i, 0
+loop:
+    ld.global.s32  $v, [$a]
+    add.u32        $acc, $acc, $v
+    add.u32        $a, $a, 128
+    add.u32        $i, $i, 1
+    setp.lt.u32    $p0, $i, %param.n
+@$p0 bra loop
+    mul.u32        $o, %tid.y, %ntid.x
+    add.u32        $o, $o, %tid.x
+    mul.u32        $b, %ctaid.x, %ntid.x
+    mul.u32        $b, $b, %ntid.y
+    add.u32        $o, $o, $b
+    shl.u32        $o, $o, 2
+    add.u32        $o, $o, %param.out
+    st.global.s32  [$o], $acc
+    exit
+"""
+
+#: A kernel with genuine SIMT divergence (per-lane branch).
+DIVERGE_SRC = """
+.kernel diverge
+.param out
+    mov.u32        $t, %tid.x
+    and.u32        $odd, $t, 1
+    setp.eq.u32    $p0, $odd, 1
+    mov.u32        $r, 0
+@$p0 bra odd_path
+    add.u32        $r, $r, 100
+    bra join
+odd_path:
+    add.u32        $r, $r, 200
+join:
+    shl.u32        $o, $t, 2
+    add.u32        $o, $o, %param.out
+    st.global.s32  [$o], $r
+    exit
+"""
+
+
+@pytest.fixture
+def figure3_program():
+    return assemble(FIGURE3_SRC)
+
+
+@pytest.fixture
+def loop_program():
+    return assemble(LOOP_SRC)
+
+
+@pytest.fixture
+def diverge_program():
+    return assemble(DIVERGE_SRC)
+
+
+@pytest.fixture
+def launch_2d():
+    return LaunchConfig(grid_dim=Dim3(1), block_dim=Dim3(4, 2), warp_size=4)
+
+
+@pytest.fixture
+def launch_1d():
+    return LaunchConfig(grid_dim=Dim3(1), block_dim=Dim3(8), warp_size=4)
+
+
+@pytest.fixture
+def memory():
+    return GlobalMemory(1 << 14)
+
+
+def figure3_setup(memory):
+    """Allocate Figure 3's array; returns (params, expected 2D outputs)."""
+    data = np.array([7, 3, 0, 90, 55, 8, 22, 1], dtype=np.int64)
+    base = memory.alloc_array(data)
+    out = memory.alloc(16)
+    return {"base": base, "out": out}, data

@@ -1,0 +1,134 @@
+"""Tests for the 3D-TB extension (Section 2's 3D observation).
+
+The paper notes its observations "also apply to 3D TBs, where both the
+tid.x and tid.y registers can be conditionally redundant" but limits its
+evaluation to 2D.  This repository implements the extension behind
+``analyze_program(..., enable_3d=True)``; these tests verify both the
+static lattice and end-to-end skipping on a genuinely 3D kernel.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DarsieFrontend,
+    Dim3,
+    GlobalMemory,
+    LaunchConfig,
+    Marking,
+    analyze_program,
+    assemble,
+    promote_markings,
+    run_functional,
+    simulate,
+    small_config,
+)
+from repro.core.promotion import promotion_applies_y
+from repro.simt.grid import tidy_is_tb_redundant
+
+CFG = small_config(num_sms=1)
+
+KERNEL_3D = """
+.param tab
+.param out
+    # tid.y-derived chain: redundant only under the 3D (x*y) criterion
+    mul.u32        $row, %tid.y, %ntid.x
+    add.u32        $idx, $row, %tid.x
+    shl.u32        $a, $idx, 2
+    add.u32        $a, $a, %param.tab
+    ld.global.s32  $v, [$a]
+    # per-thread output address (z makes it vector)
+    mul.u32        $o, %tid.z, %ntid.y
+    add.u32        $o, $o, %tid.y
+    mul.u32        $o, $o, %ntid.x
+    add.u32        $o, $o, %tid.x
+    shl.u32        $o, $o, 2
+    add.u32        $o, $o, %param.out
+    st.global.s32  [$o], $v
+    exit
+"""
+
+
+class TestCriterion:
+    def test_tidy_criterion(self):
+        assert tidy_is_tb_redundant(Dim3(8, 4, 4))       # x*y = 32
+        assert tidy_is_tb_redundant(Dim3(4, 4, 2))       # x*y = 16
+        assert not tidy_is_tb_redundant(Dim3(8, 8, 2))   # x*y = 64 > 32
+        assert not tidy_is_tb_redundant(Dim3(8, 4, 1))   # not 3D
+        assert not tidy_is_tb_redundant(Dim3(6, 4, 2))   # x*y not pow2
+
+    def test_y_criterion_implies_x_criterion(self):
+        """The lattice's linearity requirement."""
+        from repro.simt.grid import tidx_is_tb_redundant
+
+        for x in (1, 2, 4, 8, 16, 32):
+            for y in (1, 2, 4, 8):
+                for z in (2, 4):
+                    d = Dim3(x, y, z)
+                    if tidy_is_tb_redundant(d):
+                        assert tidx_is_tb_redundant(d), d
+
+
+class TestStaticLattice:
+    def test_tidy_seeds_conditional_y_when_enabled(self):
+        prog = assemble("mov.u32 $a, %tid.y\nexit")
+        off = analyze_program(prog)
+        on = analyze_program(prog, enable_3d=True)
+        assert off.instruction_markings[0] is Marking.VECTOR
+        assert on.instruction_markings[0] is Marking.CONDITIONAL_Y
+
+    def test_meet_of_x_and_y_chains(self):
+        prog = assemble("add.u32 $a, %tid.x, %tid.y\nexit")
+        on = analyze_program(prog, enable_3d=True)
+        assert on.instruction_markings[0] is Marking.CONDITIONAL_Y
+
+    def test_promotion_resolution(self):
+        marks = {0: Marking.CONDITIONAL, 8: Marking.CONDITIONAL_Y}
+        launch_3d = LaunchConfig(grid_dim=Dim3(1), block_dim=Dim3(8, 4, 4))
+        out = promote_markings(marks, launch_3d)
+        assert out[0] is Marking.REDUNDANT
+        assert out[8] is Marking.REDUNDANT
+        launch_2d = LaunchConfig(grid_dim=Dim3(1), block_dim=Dim3(16, 16))
+        out = promote_markings(marks, launch_2d)
+        assert out[0] is Marking.REDUNDANT   # x criterion holds
+        assert out[8] is Marking.VECTOR      # y criterion needs 3D
+
+    def test_default_behaviour_unchanged(self):
+        """With enable_3d off (the paper's configuration), 2D kernels
+        mark exactly as before."""
+        prog = assemble("mul.u32 $a, %tid.y, %ntid.x\nexit")
+        assert analyze_program(prog).instruction_markings[0] is Marking.VECTOR
+
+
+class TestEndToEnd:
+    def _run(self, launch):
+        prog = assemble(KERNEL_3D)
+        analysis = analyze_program(prog, enable_3d=True)
+        n = launch.block_dim.count
+        data = np.arange(1000, 1000 + launch.block_dim.x * launch.block_dim.y)
+
+        mem_f = GlobalMemory(1 << 14)
+        pf = {"tab": mem_f.alloc_array(data), "out": mem_f.alloc(n)}
+        run_functional(prog, launch, mem_f, params=pf)
+
+        mem_d = GlobalMemory(1 << 14)
+        pd = {"tab": mem_d.alloc_array(data), "out": mem_d.alloc(n)}
+        res = simulate(prog, launch, mem_d, params=pd, config=CFG,
+                       frontend_factory=lambda: DarsieFrontend(analysis))
+        return res, np.array_equal(mem_f.words, mem_d.words)
+
+    def test_3d_launch_skips_tidy_chain(self):
+        launch = LaunchConfig(grid_dim=Dim3(2), block_dim=Dim3(8, 4, 8))
+        assert promotion_applies_y(launch)
+        res, ok = self._run(launch)
+        assert ok
+        # The tid.y-derived load chain is skipped, including the load.
+        assert res.stats.skipped_by_class.get("unstructured", 0) > 0
+        assert res.stats.instructions_skipped > 0
+
+    def test_wide_3d_launch_does_not_skip_tidy(self):
+        launch = LaunchConfig(grid_dim=Dim3(2), block_dim=Dim3(8, 8, 4))  # x*y=64
+        assert not promotion_applies_y(launch)
+        res, ok = self._run(launch)
+        assert ok
+        assert res.stats.instructions_skipped == 0  # whole chain is tid.y-based

@@ -1,0 +1,48 @@
+"""Unit tests for the Section 6.3 area model."""
+
+from repro.core.area import AreaModel, paper_area_model
+
+
+class TestPaperNumbers:
+    """Every number in Section 6.3, verbatim."""
+
+    def test_skip_entry_is_82_bits(self):
+        m = paper_area_model()
+        assert m.skip_entry_bits == 48 + 32 + 1 + 1 == 82
+
+    def test_skip_table(self):
+        m = paper_area_model()
+        assert m.skip_table_entries == 256
+        assert m.skip_table_bits == 20992
+        assert m.skip_table_bytes == 2624
+
+    def test_majority_mask(self):
+        m = paper_area_model()
+        assert m.majority_mask_bits == 1024
+        assert m.majority_mask_bytes == 128
+
+    def test_rename_tables(self):
+        m = paper_area_model()
+        assert m.rename_entry_bits == 8 + 8 + 5 == 21
+        assert m.rename_table_bits == 21 * 32 * 32 == 21504
+        assert m.rename_table_bytes == 2688
+
+    def test_total(self):
+        m = paper_area_model()
+        assert m.total_bytes == 2624 + 128 + 2688
+        assert round(m.total_kb, 2) == 5.31
+        assert 0.020 <= m.fraction_of_register_file <= 0.022
+
+    def test_report_mentions_totals(self):
+        text = paper_area_model().report()
+        assert "5.31" in text and "82 bits" in text
+
+
+class TestParameterisation:
+    def test_halving_entries_halves_table(self):
+        m = AreaModel(skip_entries_per_tb=4)
+        assert m.skip_table_bytes == 2624 // 2
+
+    def test_register_file_fraction_scales(self):
+        m = AreaModel(register_file_bytes=2 * 2048 * 32 * 4)
+        assert abs(m.fraction_of_register_file - 0.0105) < 0.001

@@ -1,0 +1,154 @@
+"""Unit tests for the static DR/CR/V compiler pass (Section 4.2)."""
+
+import pytest
+
+from repro import Marking, analyze_program, assemble
+
+
+def markings_of(src):
+    prog = assemble(src)
+    analysis = analyze_program(prog)
+    return prog, analysis
+
+
+class TestSeeds:
+    def test_intrinsic_seeds(self):
+        prog, a = markings_of("""
+            mov.u32 $a, %ctaid.x
+            mov.u32 $b, %ntid.y
+            mov.u32 $c, %tid.x
+            mov.u32 $d, %tid.y
+            mov.u32 $e, %laneid
+            mov.u32 $f, 42
+            exit
+        """)
+        m = a.instruction_markings
+        assert m[0x00] is Marking.REDUNDANT     # blockIdx
+        assert m[0x08] is Marking.REDUNDANT     # blockDim
+        assert m[0x10] is Marking.CONDITIONAL   # tid.x
+        assert m[0x18] is Marking.VECTOR        # tid.y (2D analysis limit)
+        assert m[0x20] is Marking.VECTOR        # laneid
+        assert m[0x28] is Marking.REDUNDANT     # scalar constant
+
+    def test_params_are_redundant(self):
+        _, a = markings_of(".param n\nmov.u32 $a, %param.n\nexit")
+        assert a.instruction_markings[0] is Marking.REDUNDANT
+
+
+class TestPropagation:
+    def test_chain_propagation(self):
+        """Redundancy propagates through register dependences."""
+        _, a = markings_of("""
+            mul.u32 $r1, %tid.x, 4
+            add.u32 $r2, $r1, 10
+            add.u32 $r3, $r2, %ctaid.x
+            add.u32 $r4, $r3, %tid.y
+            exit
+        """)
+        m = a.instruction_markings
+        assert m[0x00] is Marking.CONDITIONAL
+        assert m[0x08] is Marking.CONDITIONAL
+        assert m[0x10] is Marking.CONDITIONAL   # CR meet DR = CR
+        assert m[0x18] is Marking.VECTOR        # CR meet V = V
+
+    def test_loads_take_address_marking(self):
+        """Loads from (conditionally) redundant addresses are marked."""
+        _, a = markings_of("""
+        .param base
+            mul.u32 $a, %tid.x, 4
+            add.u32 $a, $a, %param.base
+            ld.global.s32 $v, [$a]
+            add.u32 $w, $v, 1
+            exit
+        """)
+        m = a.instruction_markings
+        assert m[0x10] is Marking.CONDITIONAL  # the load itself
+        assert m[0x18] is Marking.CONDITIONAL  # its consumer
+
+    def test_flow_insensitive_meet_over_defs(self):
+        """A register defined both redundantly and vectorially is vector
+        everywhere (conservative, preserves non-speculation)."""
+        _, a = markings_of("""
+            mov.u32 $a, %ctaid.x
+            mov.u32 $a, %tid.y
+            add.u32 $b, $a, 1
+            exit
+        """)
+        m = a.instruction_markings
+        assert m[0x10] is Marking.VECTOR
+
+    def test_loop_carried_fixpoint(self):
+        """A vector value flowing around a loop demotes the whole cycle."""
+        _, a = markings_of("""
+            mov.u32 $acc, 0
+            mov.u32 $i, 0
+        top:
+            add.u32 $acc, $acc, %tid.y
+            add.u32 $i, $i, 1
+            setp.lt.u32 $p0, $i, 4
+        @$p0 bra top
+            add.u32 $z, $acc, 0
+            exit
+        """)
+        m = a.instruction_markings
+        assert m[0x10] is Marking.VECTOR  # acc += tid.y
+        assert m[0x30] is Marking.VECTOR  # consumer after the loop
+
+    def test_guard_meets_into_marking(self):
+        """A DR operation guarded by a vector predicate is not skippable."""
+        _, a = markings_of("""
+            setp.lt.u32 $p0, %tid.y, 2
+        @$p0 mov.u32 $a, 5
+            exit
+        """)
+        assert a.instruction_markings[0x08] is Marking.VECTOR
+
+    def test_atomic_always_vector(self):
+        _, a = markings_of("""
+        .param c
+            atom.global.add.u32 $old, [%param.c], 1
+            exit
+        """)
+        assert a.instruction_markings[0x00] is Marking.VECTOR
+
+
+class TestSkippablePCs:
+    def test_only_value_producers_skippable(self):
+        prog, a = markings_of("""
+        .param base
+            mov.u32 $a, %ctaid.x
+            st.global.s32 [%param.base], $a
+            bar.sync
+            exit
+        """)
+        # With all-DR markings, only the mov (register producer) skips.
+        pcs = a.skippable_pcs()
+        assert 0x00 in pcs
+        assert 0x08 not in pcs  # store
+        assert 0x10 not in pcs  # bar
+        assert 0x18 not in pcs  # exit
+
+    def test_redundant_setp_skippable(self):
+        _, a = markings_of("""
+            mov.u32 $i, 3
+            setp.lt.u32 $p0, $i, 5
+            exit
+        """)
+        assert 0x08 in a.skippable_pcs()
+
+    def test_conditional_not_skippable_without_promotion(self):
+        _, a = markings_of("mul.u32 $a, %tid.x, 4\nexit")
+        assert a.skippable_pcs() == set()
+
+
+class TestAnnotatedListing:
+    def test_listing_has_marks(self):
+        _, a = markings_of("mov.u32 $a, %ctaid.x\nmul.u32 $b, %tid.x, 2\nmov.u32 $c, %tid.y\nexit")
+        text = a.annotated_listing()
+        assert "DR" in text and "CR" in text and "V" in text
+
+    def test_counts(self):
+        _, a = markings_of("mov.u32 $a, %ctaid.x\nmul.u32 $b, %tid.x, 2\nexit")
+        counts = a.counts()
+        assert counts[Marking.REDUNDANT] == 2  # mov + exit
+        assert counts[Marking.CONDITIONAL] == 1

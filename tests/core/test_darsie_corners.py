@@ -1,0 +1,143 @@
+"""Corner-case tests for the DARSIE frontend: starved structures,
+partial warps, instance catch-up, multi-TB isolation."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DarsieConfig,
+    DarsieFrontend,
+    Dim3,
+    GlobalMemory,
+    LaunchConfig,
+    analyze_program,
+    assemble,
+    run_functional,
+    simulate,
+    small_config,
+)
+
+CFG = small_config(num_sms=1)
+
+MANY_SKIPPABLE = """
+.param tab
+.param out
+    mul.u32 $a, %tid.x, 4
+    add.u32 $b, $a, 8
+    add.u32 $c, $b, 8
+    add.u32 $d, $c, 8
+    add.u32 $e, $d, 8
+    add.u32 $f, $e, 8
+    add.u32 $g, $f, 8
+    add.u32 $h, $g, 8
+    add.u32 $i2, $h, 8
+    add.u32 $j, $i2, 8
+    add.u32 $k, $j, 8
+    add.u32 $l, $k, 8
+    add.u32 $res, $l, %tid.y
+    mul.u32 $o, %tid.y, %ntid.x
+    add.u32 $o, $o, %tid.x
+    shl.u32 $o, $o, 2
+    add.u32 $o, $o, %param.out
+    st.global.s32 [$o], $res
+    exit
+"""
+
+
+def run_darsie(src, launch, setup, cfg: DarsieConfig):
+    prog = assemble(src)
+    analysis = analyze_program(prog)
+    mem_f = GlobalMemory(1 << 14)
+    pf = setup(mem_f)
+    run_functional(prog, launch, mem_f, params=pf)
+    mem_d = GlobalMemory(1 << 14)
+    pd = setup(mem_d)
+    res = simulate(prog, launch, mem_d, params=pd, config=CFG,
+                   frontend_factory=lambda: DarsieFrontend(analysis, cfg))
+    return res, np.array_equal(mem_f.words, mem_d.words)
+
+
+def basic_setup(mem):
+    return {"tab": mem.alloc_array(np.arange(64)), "out": mem.alloc(1024)}
+
+
+LAUNCH_2D = LaunchConfig(grid_dim=Dim3(2), block_dim=Dim3(16, 16))
+
+
+class TestStarvedStructures:
+    @pytest.mark.parametrize("entries", [1, 2, 4])
+    def test_tiny_skip_table_correct(self, entries):
+        """13 skippable PCs through a 1-4 entry table: constant
+        eviction churn must stay correct."""
+        res, ok = run_darsie(MANY_SKIPPABLE, LAUNCH_2D, basic_setup,
+                             DarsieConfig(skip_entries_per_tb=entries))
+        assert ok
+        assert res.stats.instructions_skipped > 0
+
+    @pytest.mark.parametrize("regs", [1, 2, 3])
+    def test_tiny_freelist_correct(self, regs):
+        res, ok = run_darsie(MANY_SKIPPABLE, LAUNCH_2D, basic_setup,
+                             DarsieConfig(rename_regs_per_tb=regs))
+        assert ok
+
+    def test_smaller_table_skips_no_more(self):
+        big, _ = run_darsie(MANY_SKIPPABLE, LAUNCH_2D, basic_setup,
+                            DarsieConfig(skip_entries_per_tb=16))
+        small_, _ = run_darsie(MANY_SKIPPABLE, LAUNCH_2D, basic_setup,
+                               DarsieConfig(skip_entries_per_tb=1))
+        assert small_.stats.instructions_skipped <= big.stats.instructions_skipped
+
+    def test_one_port_skips_same_work_slower_or_equal(self):
+        p1, _ = run_darsie(MANY_SKIPPABLE, LAUNCH_2D, basic_setup,
+                           DarsieConfig(skip_ports=1))
+        p4, _ = run_darsie(MANY_SKIPPABLE, LAUNCH_2D, basic_setup,
+                           DarsieConfig(skip_ports=4))
+        assert p1.stats.instructions_skipped == p4.stats.instructions_skipped
+        assert p1.cycles >= p4.cycles
+
+
+class TestSyncOnWrite:
+    def test_sync_on_write_correct_and_slower(self):
+        fast, ok1 = run_darsie(MANY_SKIPPABLE, LAUNCH_2D, basic_setup, DarsieConfig())
+        slow, ok2 = run_darsie(MANY_SKIPPABLE, LAUNCH_2D, basic_setup,
+                               DarsieConfig(sync_on_write=True))
+        assert ok1 and ok2
+        assert slow.stats.freelist_syncs > 0  # every write synchronizes
+        assert slow.cycles >= fast.cycles
+
+
+class TestPartialWarps:
+    def test_tb_not_multiple_of_warp(self):
+        """Partial warps are permanently SIMD-divergent (Section 4.5):
+        they never skip, and results stay correct."""
+        launch = LaunchConfig(grid_dim=Dim3(1), block_dim=Dim3(16, 10))  # 160 thr: 5 warps
+        res, ok = run_darsie(MANY_SKIPPABLE, launch, basic_setup, DarsieConfig())
+        assert ok
+
+
+class TestMultiTBIsolation:
+    def test_tb_structures_are_independent(self):
+        """Leaders/versions of one TB must never leak into another."""
+        launch = LaunchConfig(grid_dim=Dim3(4), block_dim=Dim3(16, 8))
+        src = MANY_SKIPPABLE.replace("%tid.y", "%ctaid.x")  # value differs per TB
+        res, ok = run_darsie(src, launch, basic_setup, DarsieConfig())
+        assert ok
+        assert res.stats.leaders_elected >= 4  # at least one leader per TB
+
+
+class TestMultiSM:
+    def test_darsie_across_sms(self):
+        prog = assemble(MANY_SKIPPABLE)
+        analysis = analyze_program(prog)
+        launch = LaunchConfig(grid_dim=Dim3(6), block_dim=Dim3(16, 8))
+        cfg2 = small_config(num_sms=2)
+        mem_f = GlobalMemory(1 << 14)
+        pf = basic_setup(mem_f)
+        run_functional(prog, launch, mem_f, params=pf)
+        mem_d = GlobalMemory(1 << 14)
+        pd = basic_setup(mem_d)
+        res = simulate(prog, launch, mem_d, params=pd, config=cfg2,
+                       frontend_factory=lambda: DarsieFrontend(analysis))
+        assert np.array_equal(mem_f.words, mem_d.words)
+        busy = [s for s in res.per_sm_stats if s.instructions_executed]
+        assert len(busy) == 2

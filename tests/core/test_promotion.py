@@ -1,0 +1,54 @@
+"""Unit tests for kernel-launch-time promotion (Section 4.2)."""
+
+from repro import Dim3, LaunchConfig, Marking, promote_markings, promotion_applies
+from repro.core.promotion import describe_promotion
+
+
+def launch(block, warp=32):
+    return LaunchConfig(grid_dim=Dim3(2), block_dim=Dim3(*block), warp_size=warp)
+
+
+class TestCriterion:
+    def test_2d_power_of_two_applies(self):
+        assert promotion_applies(launch((16, 16)))
+        assert promotion_applies(launch((32, 32)))
+        assert promotion_applies(launch((8, 8)))
+        assert promotion_applies(launch((16, 8)))
+
+    def test_1d_does_not_apply(self):
+        assert not promotion_applies(launch((256, 1)))
+        assert not promotion_applies(launch((1024, 1)))
+
+    def test_non_power_of_two_x(self):
+        assert not promotion_applies(launch((48, 4)))
+
+    def test_x_wider_than_warp(self):
+        assert not promotion_applies(launch((64, 4)))
+
+
+class TestPromotion:
+    MARKS = {0: Marking.REDUNDANT, 8: Marking.CONDITIONAL, 16: Marking.VECTOR}
+
+    def test_cr_promoted_to_dr(self):
+        out = promote_markings(self.MARKS, launch((16, 16)))
+        assert out[8] is Marking.REDUNDANT
+
+    def test_cr_demoted_to_vector(self):
+        out = promote_markings(self.MARKS, launch((256, 1)))
+        assert out[8] is Marking.VECTOR
+
+    def test_dr_and_vector_untouched(self):
+        for shape in ((16, 16), (256, 1)):
+            out = promote_markings(self.MARKS, launch(shape))
+            assert out[0] is Marking.REDUNDANT
+            assert out[16] is Marking.VECTOR
+
+    def test_original_not_mutated(self):
+        promote_markings(self.MARKS, launch((16, 16)))
+        assert self.MARKS[8] is Marking.CONDITIONAL
+
+
+class TestDescription:
+    def test_describe_both_cases(self):
+        assert "promoted" in describe_promotion(launch((16, 16)))
+        assert "demoted" in describe_promotion(launch((256, 1)))

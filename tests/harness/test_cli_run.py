@@ -1,0 +1,36 @@
+"""Tests for the `python -m repro run` subcommand."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestRunSubcommand:
+    def test_run_base(self, capsys):
+        assert main(["run", "CONVTEX", "--scale", "tiny", "--config", "BASE"]) == 0
+        out = capsys.readouterr().out
+        assert "CONVTEX [tiny] under BASE" in out
+        assert "speedup 1.00x" in out
+
+    def test_run_darsie_with_json(self, capsys):
+        assert main(["run", "HS", "--scale", "tiny", "--config", "DARSIE", "--json"]) == 0
+        out = capsys.readouterr().out
+        payload = out[out.index("{"):]
+        data = json.loads(payload)
+        assert data["frontend"] == "DARSIE"
+        assert data["cycles"] > 0
+
+    def test_run_with_trace(self, capsys):
+        assert main(["run", "HS", "--scale", "tiny", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline trace" in out
+
+    def test_run_requires_known_workload(self):
+        with pytest.raises(SystemExit):
+            main(["run", "BOGUS"])
+
+    def test_run_case_insensitive(self, capsys):
+        assert main(["run", "hs", "--scale", "tiny", "--config", "UV"]) == 0
+        assert "under UV" in capsys.readouterr().out

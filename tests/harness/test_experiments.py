@@ -1,0 +1,77 @@
+"""Experiment drivers produce well-formed, shape-correct results.
+
+These run at ``tiny`` scale over a subset of workloads — fast sanity
+checks; the full reproduction lives in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.harness import experiments
+from repro.harness.runner import clear_runner_cache
+
+SUBSET = ("LIB", "CONVTEX", "FWS")
+
+
+@pytest.fixture(autouse=True, scope="module")
+def fresh_cache():
+    clear_runner_cache()
+    yield
+    clear_runner_cache()
+
+
+class TestFunctionalStudies:
+    def test_figure1_fractions_valid(self):
+        r = experiments.figure1(scale="tiny", abbrs=SUBSET)
+        for b in r.per_workload.values():
+            for v in b.as_dict().values():
+                assert 0.0 <= v <= 1.0
+        assert "Figure 1" in r.render()
+
+    def test_figure2_sums_to_one(self):
+        r = experiments.figure2(scale="tiny", abbrs=SUBSET)
+        for b in r.per_workload.values():
+            total = b.uniform + b.affine + b.unstructured + b.non_redundant
+            assert total == pytest.approx(1.0)
+
+    def test_figure6_listing(self):
+        r = experiments.figure6(scale="tiny")
+        assert "CR" in r.listing and r.counts["V"] > 0
+
+
+class TestTimingStudies:
+    def test_figure8_subset(self):
+        r = experiments.figure8(scale="tiny", abbrs=SUBSET)
+        for vals in r.per_workload.values():
+            assert vals["BASE"] == pytest.approx(1.0)
+            assert all(v > 0 for v in vals.values())
+        assert "GMEAN" in r.render()
+
+    def test_figure11_subset(self):
+        r = experiments.figure11(scale="tiny", abbrs=SUBSET)
+        for vals in r.per_workload.values():
+            for v in vals.values():
+                assert v < 1.0  # a reduction, not a ratio
+
+    def test_figure12_subset(self):
+        r = experiments.figure12(scale="tiny", abbrs=SUBSET)
+        for vals in r.per_workload.values():
+            assert set(vals) == set(experiments.FIG12_CONFIGS)
+
+
+class TestStaticArtifacts:
+    def test_tables_render(self):
+        assert "binomialOptions" in experiments.table1()
+        assert "GTO" in experiments.table2()
+        assert "DARSIE" in experiments.table3()
+        assert "5.31" in experiments.area_estimate()
+
+    def test_survey(self):
+        s = experiments.survey()
+        assert s.num_applications == 133
+
+
+class TestAblations:
+    def test_skip_ports_ablation(self):
+        r = experiments.ablation_skip_ports(abbr="CONVTEX", scale="tiny", ports=(1, 2))
+        assert len(r.points) == 2
+        assert "Ablation" in r.render()

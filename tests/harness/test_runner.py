@@ -1,0 +1,72 @@
+"""Unit tests for the workload runner and reporting helpers."""
+
+import pytest
+
+from repro.harness.reporting import fmt_pct, fmt_x, format_table
+from repro.harness.related_work import TABLE3, darsie_covers_all, render_table3
+from repro.harness.runner import (
+    CONFIG_NAMES,
+    VerificationError,
+    WorkloadRunner,
+    clear_runner_cache,
+    get_runner,
+)
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return WorkloadRunner(build_workload("CONVTEX", "tiny"))
+
+
+class TestRunner:
+    def test_all_config_names_run(self, runner):
+        for name in CONFIG_NAMES:
+            assert runner.run(name).cycles > 0
+
+    def test_unknown_config(self, runner):
+        with pytest.raises(KeyError, match="unknown configuration"):
+            runner.run("WARP-DRIVE")
+
+    def test_caching_returns_same_object(self, runner):
+        assert runner.run("BASE") is runner.run("BASE")
+
+    def test_speedup_and_reductions_consistent(self, runner):
+        sp = runner.speedup("DARSIE")
+        assert sp == runner.run("BASE").cycles / runner.run("DARSIE").cycles
+        red = runner.instruction_reduction("DARSIE")
+        assert 0 <= red < 1
+        assert runner.instruction_reduction("BASE") == 0.0
+
+    def test_energy_reduction_sign(self, runner):
+        assert runner.energy_reduction("BASE") == pytest.approx(0.0)
+
+    def test_functional_trace_cached(self, runner):
+        assert runner.functional_trace() is runner.functional_trace()
+
+    def test_get_runner_memoizes(self):
+        clear_runner_cache()
+        a = get_runner("HS", "tiny")
+        b = get_runner("HS", "tiny")
+        assert a is b
+        clear_runner_cache()
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["x", 1], ["yyyy", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_formatters(self):
+        assert fmt_pct(0.5) == " 50.0%"
+        assert fmt_x(1.25) == "1.25x"
+
+
+class TestRelatedWork:
+    def test_capability_matrix(self):
+        assert darsie_covers_all()
+        assert len(TABLE3) == 6
+        assert "DARSIE" in render_table3()

@@ -1,0 +1,177 @@
+"""Unit tests for the assembler."""
+
+import pytest
+
+from repro.isa import AssemblyError, Opcode, assemble
+from repro.isa.instructions import CmpOp, DType, INSTRUCTION_BYTES
+from repro.isa.operands import Immediate, MemSpace, Param, Predicate, Register, Special
+
+
+def one(src):
+    """Assemble a single-statement kernel; return its instruction."""
+    return assemble(src + "\nexit").instructions[0]
+
+
+class TestBasicParsing:
+    def test_alu(self):
+        inst = one("add.u32 $r1, $r2, 5")
+        assert inst.opcode is Opcode.ADD
+        assert inst.dst == Register("r1")
+        assert inst.srcs == (Register("r2"), Immediate(5))
+        assert inst.dtype is DType.U32
+
+    def test_float_literal(self):
+        inst = one("mul.f32 $a, $b, 1.5")
+        assert inst.srcs[1] == Immediate(1.5)
+        assert inst.dtype is DType.F32
+
+    def test_hex_immediate(self):
+        inst = one("and.u32 $a, $b, 0x7f")
+        assert inst.srcs[1] == Immediate(0x7F)
+
+    def test_negative_immediate(self):
+        inst = one("add.s32 $a, $b, -3")
+        assert inst.srcs[1] == Immediate(-3)
+
+    def test_special_and_param(self):
+        inst = one("mul.u32 $a, %tid.x, %param.n")
+        assert inst.srcs == (Special("tid.x"), Param("n"))
+
+    def test_mad_three_sources(self):
+        inst = one("mad.f32 $d, $a, $b, $c")
+        assert len(inst.srcs) == 3
+
+    def test_pcs_are_multiples_of_eight(self):
+        prog = assemble("mov.u32 $a, 1\nmov.u32 $b, 2\nexit")
+        assert [i.pc for i in prog.instructions] == [0, 8, 16]
+        assert INSTRUCTION_BYTES == 8
+
+
+class TestPredicates:
+    def test_setp(self):
+        inst = one("setp.lt.u32 $p0, $a, $b")
+        assert inst.opcode is Opcode.SETP
+        assert inst.cmp is CmpOp.LT
+        assert inst.dst == Predicate("p0")
+
+    def test_setp_requires_cmp(self):
+        with pytest.raises(AssemblyError):
+            one("setp.u32 $p0, $a, $b")
+
+    def test_guard(self):
+        inst = one("@$p1 add.u32 $a, $a, 1")
+        assert inst.guard == Predicate("p1")
+        assert not inst.guard_negated
+
+    def test_negated_guard(self):
+        inst = one("@!$p0 mov.u32 $a, 0")
+        assert inst.guard_negated
+
+    def test_p_names_are_predicates(self):
+        inst = one("selp.u32 $a, $b, $c, $p3")
+        assert inst.srcs[2] == Predicate("p3")
+
+    def test_p_with_suffix_is_register(self):
+        """Only $p<digits> is a predicate; $pos etc. are registers."""
+        inst = one("mov.u32 $pos, 1")
+        assert inst.dst == Register("pos")
+
+
+class TestMemory:
+    def test_load(self):
+        inst = one("ld.global.f32 $v, [$addr + 16]")
+        assert inst.is_load
+        assert inst.mem.space is MemSpace.GLOBAL
+        assert inst.mem.offset == 16
+        assert inst.dst == Register("v")
+
+    def test_store_sources(self):
+        inst = one("st.shared.s32 [$a], $v")
+        assert inst.is_store
+        assert inst.srcs == (Register("v"),)
+        assert inst.dst is None
+
+    def test_indexed_address(self):
+        inst = one("ld.shared.f32 $v, [$base + $idx + 8]")
+        assert inst.mem.index == Register("idx")
+        assert inst.mem.offset == 8
+
+    def test_requires_space(self):
+        with pytest.raises(AssemblyError):
+            one("ld.f32 $v, [$a]")
+
+    def test_atomic(self):
+        inst = one("atom.global.add.u32 $old, [$a], $v")
+        assert inst.is_atomic
+        assert inst.dst == Register("old")
+
+    def test_source_registers_include_address(self):
+        inst = one("st.global.f32 [$a + $b], $v")
+        names = {r.name for r in inst.source_registers()}
+        assert names == {"a", "b", "v"}
+
+
+class TestControlFlow:
+    def test_branch_target_resolution(self):
+        prog = assemble("""
+            mov.u32 $i, 0
+        top:
+            add.u32 $i, $i, 1
+            setp.lt.u32 $p0, $i, 4
+        @$p0 bra top
+            exit
+        """)
+        bra = prog.instructions[3]
+        assert bra.is_branch
+        assert bra.target == "top"
+        assert bra.target_pc == 8
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblyError, match="undefined label"):
+            assemble("bra nowhere\nexit")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError, match="duplicate label"):
+            assemble("a:\nnop\na:\nnop\nexit")
+
+    def test_implicit_exit_appended(self):
+        prog = assemble("mov.u32 $a, 1")
+        assert prog.instructions[-1].is_exit
+
+    def test_bar_sync(self):
+        inst = one("bar.sync")
+        assert inst.is_barrier
+
+
+class TestErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(AssemblyError, match="unknown opcode"):
+            one("frobnicate $a, $b")
+
+    def test_unknown_modifier(self):
+        with pytest.raises(AssemblyError, match="unknown modifier"):
+            one("add.q64 $a, $b, $c")
+
+    def test_wrong_arity(self):
+        with pytest.raises(AssemblyError, match="expects 2 source"):
+            one("add.u32 $a, $b")
+
+    def test_empty_kernel(self):
+        with pytest.raises(AssemblyError, match="empty kernel"):
+            assemble("# nothing here")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblyError, match="line 3"):
+            assemble("mov.u32 $a, 1\nmov.u32 $b, 2\nbogus $c\nexit")
+
+
+class TestDirectives:
+    def test_params_and_shared(self):
+        prog = assemble(".kernel k\n.param alpha\n.param beta\n.shared 128\nexit")
+        assert prog.name == "k"
+        assert prog.params == ("alpha", "beta")
+        assert prog.shared_words == 128
+
+    def test_comments_stripped(self):
+        prog = assemble("mov.u32 $a, 1  # trailing\n// full line\nexit")
+        assert len(prog) == 2

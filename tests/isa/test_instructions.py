@@ -1,0 +1,79 @@
+"""Unit tests for the Instruction model and its helpers."""
+
+from repro.isa import assemble
+from repro.isa.instructions import (
+    ALU_OPS,
+    BRANCH_OPS,
+    INSTRUCTION_BYTES,
+    LOAD_OPS,
+    MEMORY_OPS,
+    SFU_OPS,
+    STORE_OPS,
+    Opcode,
+    source_arity,
+)
+
+
+def one(src):
+    return assemble(src + "\nexit").instructions[0]
+
+
+class TestClassification:
+    def test_groups_are_disjoint_where_expected(self):
+        assert not (ALU_OPS & SFU_OPS)
+        assert not (ALU_OPS & MEMORY_OPS)
+        assert LOAD_OPS <= MEMORY_OPS and STORE_OPS <= MEMORY_OPS
+
+    def test_predicates_on_instruction(self):
+        ld = one("ld.global.f32 $v, [$a]")
+        assert ld.is_load and ld.is_memory and not ld.is_store
+        st = one("st.shared.f32 [$a], $v")
+        assert st.is_store and st.is_memory
+        bra = assemble("x:\nbra x\nexit").instructions[0]
+        assert bra.is_branch
+        assert one("bar.sync").is_barrier
+        assert one("atom.global.add.u32 $o, [$a], 1").is_atomic
+        assert one("sqrt.f32 $a, $b").uses_sfu
+        assert not one("add.u32 $a, $b, $c").uses_sfu
+
+    def test_source_arity_table_is_total(self):
+        for op in Opcode:
+            assert source_arity(op) >= 0
+
+
+class TestAccessors:
+    def test_dest_register_vs_predicate(self):
+        add = one("add.u32 $a, $b, $c")
+        assert add.dest_register().name == "a"
+        assert add.dest_predicate() is None
+        setp = one("setp.eq.u32 $p0, $a, $b")
+        assert setp.dest_register() is None
+        assert setp.dest_predicate().name == "p0"
+
+    def test_source_predicates_include_guard(self):
+        inst = one("@$p2 selp.u32 $a, $b, $c, $p1")
+        names = {p.name for p in inst.source_predicates()}
+        assert names == {"p1", "p2"}
+
+    def test_str_roundtrips_through_assembler(self):
+        """str(inst) must re-assemble to the same semantics."""
+        cases = [
+            "add.u32 $a, $b, 5",
+            "mad.f32 $d, $a, $b, $c",
+            "ld.global.s32 $v, [$a + 16]",
+            "st.shared.f32 [$a], $v",
+            "setp.lt.u32 $p0, $a, %param.n",
+            "@$p0 mov.u32 $a, 0",
+            "bar.sync",
+        ]
+        src = ".param n\n" + "\n".join(cases) + "\nexit"
+        prog = assemble(src)
+        rebuilt = "\n".join(str(i) for i in prog.instructions)
+        prog2 = assemble(".param n\n" + rebuilt)
+        for a, b in zip(prog.instructions, prog2.instructions):
+            assert a.opcode == b.opcode and a.srcs == b.srcs and a.dst == b.dst
+
+    def test_pc_spacing(self):
+        prog = assemble("nop\nnop\nnop\nexit")
+        pcs = [i.pc for i in prog.instructions]
+        assert pcs == [k * INSTRUCTION_BYTES for k in range(4)]

@@ -1,0 +1,81 @@
+"""Unit tests for the operand model."""
+
+import pytest
+
+from repro.isa.operands import (
+    CONDITIONALLY_REDUNDANT_SPECIALS,
+    TB_UNIFORM_SPECIALS,
+    Immediate,
+    MemRef,
+    MemSpace,
+    Param,
+    Predicate,
+    Register,
+    Special,
+)
+
+
+class TestRegister:
+    def test_identity(self):
+        assert Register("r0") == Register("r0")
+        assert Register("r0") != Register("r1")
+
+    def test_str(self):
+        assert str(Register("ofs3")) == "$ofs3"
+
+    def test_hashable(self):
+        assert len({Register("a"), Register("a"), Register("b")}) == 2
+
+
+class TestImmediate:
+    def test_int_float_distinction(self):
+        assert not Immediate(3).is_float
+        assert Immediate(3.0).is_float
+
+    def test_equality(self):
+        assert Immediate(4) == Immediate(4)
+
+
+class TestSpecial:
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Special("tid.w")
+
+    def test_tb_uniform_classification(self):
+        assert Special("ctaid.x").is_tb_uniform
+        assert Special("ntid.y").is_tb_uniform
+        assert Special("smem_base").is_tb_uniform
+        assert not Special("tid.x").is_tb_uniform
+        assert not Special("tid.y").is_tb_uniform
+        assert not Special("laneid").is_tb_uniform
+
+    def test_conditional_redundancy_is_tidx_only(self):
+        """Section 4.2: the analysis is limited to threadIdx.x."""
+        assert Special("tid.x").is_conditionally_redundant
+        assert not Special("tid.y").is_conditionally_redundant
+        assert CONDITIONALLY_REDUNDANT_SPECIALS == frozenset({"tid.x"})
+
+    def test_uniform_set_contents(self):
+        # Block indices, block dims, grid dims, shared base — the
+        # paper's definitely redundant intrinsics.
+        for name in ("ctaid.x", "ctaid.y", "ctaid.z", "ntid.x", "nctaid.x", "smem_base"):
+            assert name in TB_UNIFORM_SPECIALS
+
+
+class TestMemRef:
+    def test_registers_collects_base_and_index(self):
+        m = MemRef(space=MemSpace.GLOBAL, base=Register("a"), index=Register("b"), offset=4)
+        assert m.registers() == (Register("a"), Register("b"))
+
+    def test_non_register_base(self):
+        m = MemRef(space=MemSpace.SHARED, base=Immediate(0), offset=16)
+        assert m.registers() == ()
+
+    def test_str_contains_components(self):
+        m = MemRef(space=MemSpace.GLOBAL, base=Register("a"), offset=16)
+        assert "$a" in str(m) and "0x10" in str(m)
+
+
+class TestParam:
+    def test_str(self):
+        assert str(Param("width")) == "%param.width"

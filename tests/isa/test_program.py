@@ -1,0 +1,87 @@
+"""Unit tests for Program: basic blocks, CFG, reconvergence points."""
+
+import pytest
+
+from repro.isa import assemble
+
+DIAMOND = """
+    mov.u32 $a, 0
+    setp.eq.u32 $p0, %tid.x, 0
+@$p0 bra then
+    add.u32 $a, $a, 1
+    bra join
+then:
+    add.u32 $a, $a, 2
+join:
+    add.u32 $a, $a, 3
+    exit
+"""
+
+LOOP = """
+    mov.u32 $i, 0
+top:
+    add.u32 $i, $i, 1
+    setp.lt.u32 $p0, $i, 4
+@$p0 bra top
+    exit
+"""
+
+
+class TestBasicBlocks:
+    def test_diamond_block_count(self):
+        prog = assemble(DIAMOND)
+        # entry, else-path, then-path, join
+        assert len(prog.blocks) == 4
+
+    def test_blocks_partition_instructions(self):
+        prog = assemble(DIAMOND)
+        total = sum(len(b) for b in prog.blocks)
+        assert total == len(prog)
+
+    def test_block_of(self):
+        prog = assemble(LOOP)
+        body = prog.block_of(8)
+        assert body.start_pc == 8
+        assert prog.block_of(16) is body
+
+    def test_at_unknown_pc(self):
+        prog = assemble(LOOP)
+        with pytest.raises(KeyError):
+            prog.at(0x1234)
+
+
+class TestReconvergence:
+    def test_diamond_reconverges_at_join(self):
+        prog = assemble(DIAMOND)
+        branch_pc = prog.labels.get("then") and 16  # the @$p0 bra
+        rpc = prog.reconvergence_pc(16)
+        assert rpc == prog.labels["join"]
+
+    def test_loop_backedge_reconverges_at_exit_block(self):
+        prog = assemble(LOOP)
+        rpc = prog.reconvergence_pc(24)
+        # The loop branch's post-dominator is the exit block.
+        assert rpc == 32
+
+    def test_branch_to_exit_only(self):
+        prog = assemble("""
+            setp.eq.u32 $p0, %tid.x, 0
+        @$p0 bra out
+            mov.u32 $a, 1
+        out:
+            exit
+        """)
+        assert prog.reconvergence_pc(8) == prog.labels["out"]
+
+
+class TestListing:
+    def test_listing_roundtrips_labels(self):
+        prog = assemble(LOOP)
+        text = prog.listing()
+        assert "top:" in text
+        assert "bra" in text
+
+    def test_listing_annotation_column(self):
+        prog = assemble(LOOP)
+        text = prog.listing(annotate=lambda i: "XX")
+        assert "XX" in text

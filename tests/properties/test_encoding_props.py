@@ -1,0 +1,61 @@
+"""Property-based round-trip tests for the 64-bit encoding."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import assemble
+from repro.isa.encoding import decode_program, encode_program
+
+registers = st.sampled_from(["$r0", "$r1", "$acc", "$ofs3", "$t"])
+immediates = st.integers(min_value=-128, max_value=127).map(str)
+specials = st.sampled_from(["%tid.x", "%tid.y", "%ctaid.x", "%ntid.x", "%laneid"])
+operands = st.one_of(registers, immediates, specials)
+
+alu_lines = st.builds(
+    lambda op, d, a, b: f"{op} {d}, {a}, {b}",
+    st.sampled_from(["add.u32", "sub.s32", "mul.u32", "and.u32", "min.s32", "xor.u32"]),
+    registers,
+    operands,
+    operands,
+)
+unary_lines = st.builds(
+    lambda op, d, a: f"{op} {d}, {a}",
+    st.sampled_from(["mov.u32", "neg.s32", "abs.s32", "not.u32", "cvt.f32"]),
+    registers,
+    operands,
+)
+mem_lines = st.builds(
+    lambda d, b, off: f"ld.global.s32 {d}, [{b} + {off}]",
+    registers,
+    registers,
+    st.integers(min_value=0, max_value=1024).filter(lambda x: x % 4 == 0),
+)
+lines = st.one_of(alu_lines, unary_lines, mem_lines)
+
+
+@given(st.lists(lines, min_size=1, max_size=24))
+@settings(max_examples=60, deadline=None)
+def test_encode_decode_roundtrip(body):
+    src = "\n".join(body) + "\nexit"
+    prog = assemble(src)
+    back = decode_program(encode_program(prog))
+    assert len(back) == len(prog)
+    for a, b in zip(prog.instructions, back.instructions):
+        assert a.opcode == b.opcode
+        assert a.dtype == b.dtype
+        assert a.dst == b.dst
+        assert a.srcs == b.srcs
+        assert a.mem == b.mem
+
+
+@given(st.lists(lines, min_size=1, max_size=16), st.integers(0, 2))
+@settings(max_examples=40, deadline=None)
+def test_hints_roundtrip_without_altering_instructions(body, hint):
+    src = "\n".join(body) + "\nexit"
+    prog = assemble(src)
+    enc = encode_program(prog, {i.pc: hint for i in prog.instructions})
+    for i in prog.instructions:
+        assert enc.hint_of(i.pc) == hint
+    back = decode_program(enc)
+    for a, b in zip(prog.instructions, back.instructions):
+        assert a.opcode == b.opcode and a.srcs == b.srcs

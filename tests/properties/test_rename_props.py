@@ -1,0 +1,106 @@
+"""Property-based tests on the rename unit's invariants.
+
+Random but *valid* event sequences (the leader writes before followers
+skip; counts advance one instance at a time) must preserve:
+
+- the freelist never leaks or duplicates physical registers;
+- a warp always reads the value of the last write it observed;
+- reclaimed versions are never readable.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.core.rename import RegisterRenameUnit
+
+N_WARPS = 4
+KEYS = [("r", "a"), ("r", "b"), ("p", "q0")]
+
+
+class RenameMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.unit = RegisterRenameUnit(num_warps=N_WARPS, freelist_size=6)
+        # Reference model: per (warp, key) the value the warp must read,
+        # and per key the list of instance values.
+        self.instances = {k: [] for k in KEYS}          # key -> [values]
+        self.warp_pos = {(w, k): 0 for w in range(N_WARPS) for k in KEYS}
+        self.private = set()                            # (warp, key) reads private
+        self.on_path = set(range(N_WARPS))
+
+    def _value_for(self, key, instance):
+        return np.full(4, hash((key, instance)) % 1000, dtype=np.int64)
+
+    @rule(key=st.sampled_from(KEYS), warp=st.integers(0, N_WARPS - 1))
+    def leader_creates_instance(self, key, warp):
+        """A warp on the path leads the next instance it needs."""
+        if warp not in self.on_path or not self.unit.can_allocate():
+            return
+        pos = self.warp_pos[(warp, key)]
+        if pos != len(self.instances[key]):
+            return  # only the front-running warp can lead a new instance
+        version = self.unit.reserve_version(warp, key)
+        assert version == pos + 1
+        value = self._value_for(key, pos)
+        self.unit.leader_write(
+            warp, key, version, value, key[0] == "p", sorted(self.on_path)
+        )
+        self.instances[key].append(value)
+        self.warp_pos[(warp, key)] = pos + 1
+        self.private.add((warp, key))  # leader reads its own private copy
+
+    @rule(key=st.sampled_from(KEYS), warp=st.integers(0, N_WARPS - 1))
+    def follower_skips(self, key, warp):
+        if warp not in self.on_path:
+            return
+        pos = self.warp_pos[(warp, key)]
+        if pos >= len(self.instances[key]):
+            return  # nothing to skip yet
+        vv = self.unit.follower_skip(warp, key)
+        assert vv.version == pos + 1
+        assert np.array_equal(vv.value, self.instances[key][pos])
+        self.warp_pos[(warp, key)] = pos + 1
+        self.private.discard((warp, key))
+
+    @rule(key=st.sampled_from(KEYS), warp=st.integers(0, N_WARPS - 1))
+    def private_instance(self, key, warp):
+        """The warp executes its next instance privately (bypass)."""
+        if warp not in self.on_path:
+            return
+        pos = self.warp_pos[(warp, key)]
+        if pos >= len(self.instances[key]):
+            return
+        self.unit.private_instance_write(warp, key)
+        self.warp_pos[(warp, key)] = pos + 1
+        self.private.add((warp, key))
+
+    @rule(warp=st.integers(0, N_WARPS - 1))
+    def warp_leaves_path(self, warp):
+        if warp in self.on_path and len(self.on_path) > 1:
+            self.unit.clear_warp(warp)
+            self.on_path.discard(warp)
+            for key in KEYS:
+                self.private.add((warp, key))
+
+    @invariant()
+    def reads_are_consistent(self):
+        for w in range(N_WARPS):
+            for key in KEYS:
+                vv = self.unit.read(w, key)
+                pos = self.warp_pos[(w, key)]
+                if vv is not None:
+                    assert (w, key) not in self.private
+                    assert vv.version == pos
+                    assert np.array_equal(vv.value, self.instances[key][pos - 1])
+
+    @invariant()
+    def freelist_conserved(self):
+        u = self.unit
+        assert len(u._freelist) + u.live_versions == u.freelist_size
+        assert len(set(u._freelist)) == len(u._freelist)
+
+
+TestRenameMachine = RenameMachine.TestCase
+TestRenameMachine.settings = settings(max_examples=60, stateful_step_count=40, deadline=None)

@@ -1,0 +1,64 @@
+"""Property-based tests for value-pattern classification."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simt.tracer import AFFINE, UNIFORM, UNSTRUCTURED, ValueSummary
+
+lane_values = st.lists(
+    st.integers(min_value=-(2**31), max_value=2**31 - 1), min_size=2, max_size=32
+)
+
+
+@given(st.integers(-(2**31), 2**31 - 1), st.integers(2, 32))
+def test_constant_vectors_are_uniform(value, n):
+    s = ValueSummary.of(np.full(n, value, dtype=np.int64))
+    assert s.kind == UNIFORM and s.base == float(value)
+
+
+@given(
+    st.integers(-(2**20), 2**20),
+    st.integers(-(2**10), 2**10).filter(lambda x: x != 0),
+    st.integers(2, 32),
+)
+def test_arithmetic_progressions_are_affine(base, stride, n):
+    v = base + stride * np.arange(n, dtype=np.int64)
+    s = ValueSummary.of(v)
+    assert s.kind == AFFINE
+    assert s.base == float(base) and s.stride == float(stride)
+
+
+@given(lane_values)
+def test_classification_is_total_and_deterministic(values):
+    a = ValueSummary.of(np.array(values, dtype=np.int64))
+    b = ValueSummary.of(np.array(values, dtype=np.int64))
+    assert a == b
+    assert a.kind in (UNIFORM, AFFINE, UNSTRUCTURED)
+
+
+@given(lane_values, lane_values)
+def test_equal_summaries_for_equal_vectors_only(xs, ys):
+    """Summary equality must imply redundancy-safe sharing: two equal
+    summaries never come from vectors with different uniform/affine
+    content (unstructured digests may collide only across distinct
+    non-pattern vectors, with crc32 probability ~2^-32 — we only assert
+    the structured kinds here)."""
+    a = ValueSummary.of(np.array(xs, dtype=np.int64))
+    b = ValueSummary.of(np.array(ys, dtype=np.int64))
+    if a == b and a.kind in (UNIFORM, AFFINE) and len(xs) == len(ys):
+        assert xs == ys
+
+
+@given(lane_values)
+def test_kind_matches_vector_structure(values):
+    v = np.array(values, dtype=np.int64)
+    s = ValueSummary.of(v)
+    if s.kind == UNIFORM:
+        assert (v == v[0]).all()
+    elif s.kind == AFFINE:
+        d = np.diff(v)
+        assert (d == d[0]).all() and d[0] != 0
+    else:
+        d = np.diff(v)
+        assert not (d == d[0]).all()

@@ -1,0 +1,121 @@
+"""Edge-case tests for the functional executor."""
+
+import numpy as np
+import pytest
+
+from repro import Dim3, GlobalMemory, LaunchConfig, assemble, run_functional
+from repro.simt.executor import ExecutionContext, FunctionalEngine, ThreadBlockState
+from repro.simt.memory import KernelParams
+
+
+def setup_engine(src, block=(8, 1), warp=4, params=None):
+    prog = assemble(src)
+    ctx = ExecutionContext(
+        program=prog,
+        launch=LaunchConfig(grid_dim=Dim3(1), block_dim=Dim3(*block), warp_size=warp),
+        memory=GlobalMemory(1024),
+        params=KernelParams(params or {}),
+    )
+    engine = FunctionalEngine(ctx)
+    tb = ThreadBlockState(ctx, 0)
+    return prog, engine, tb
+
+
+class TestOverrides:
+    def test_register_override_bypasses_private(self):
+        prog, engine, tb = setup_engine("add.u32 $b, $a, 1\nexit")
+        warp = tb.warps[0]
+        warp.registers.write("a", np.full(4, 10, dtype=np.int64))
+        engine.execute_instruction(
+            tb, warp, prog.at(0),
+            reg_overrides={"a": np.full(4, 99, dtype=np.int64)},
+        )
+        assert warp.registers.read("b").tolist() == [100] * 4
+
+    def test_pred_override_controls_guard(self):
+        prog, engine, tb = setup_engine("@$p0 mov.u32 $b, 7\nexit")
+        warp = tb.warps[0]
+        engine.execute_instruction(
+            tb, warp, prog.at(0),
+            pred_overrides={"p0": np.array([True, False, True, False])},
+        )
+        assert warp.registers.read("b").tolist() == [7, 0, 7, 0]
+
+    def test_overrides_cleared_after_instruction(self):
+        prog, engine, tb = setup_engine("add.u32 $b, $a, 1\nadd.u32 $c, $a, 2\nexit")
+        warp = tb.warps[0]
+        engine.execute_instruction(
+            tb, warp, prog.at(0), reg_overrides={"a": np.full(4, 50, dtype=np.int64)}
+        )
+        engine.execute_instruction(tb, warp, prog.at(8))
+        assert warp.registers.read("c").tolist() == [2] * 4  # private a == 0
+
+
+class TestPartialWarps:
+    def test_inactive_tail_lanes_do_not_store(self):
+        src = """
+        .param out
+            shl.u32 $o, %tid.x, 2
+            add.u32 $o, $o, %param.out
+            st.global.s32 [$o], 7
+            exit
+        """
+        prog = assemble(src)
+        mem = GlobalMemory(1024)
+        out = mem.alloc(16)
+        launch = LaunchConfig(grid_dim=Dim3(1), block_dim=Dim3(6), warp_size=4)
+        run_functional(prog, launch, mem, params={"out": out})
+        got = mem.read_array(out, 8, dtype=np.int64)
+        assert got.tolist() == [7] * 6 + [0, 0]
+
+
+class TestBarrierWithExits:
+    def test_barrier_releases_after_partial_exit(self):
+        """A warp that exits before the barrier must not deadlock it."""
+        src = """
+        .param out
+            setp.lt.u32 $p0, %tid.x, 4
+        @!$p0 bra out
+            bar.sync
+            shl.u32 $o, %tid.x, 2
+            add.u32 $o, $o, %param.out
+            st.global.s32 [$o], 1
+        out:
+            exit
+        """
+        prog = assemble(src)
+        mem = GlobalMemory(1024)
+        out = mem.alloc(16)
+        launch = LaunchConfig(grid_dim=Dim3(1), block_dim=Dim3(8), warp_size=4)
+        run_functional(prog, launch, mem, params={"out": out})
+        got = mem.read_array(out, 8, dtype=np.int64)
+        assert got.tolist() == [1, 1, 1, 1, 0, 0, 0, 0]
+
+
+class TestNumericEdges:
+    def test_shift_amounts_clamped(self):
+        prog, engine, tb = setup_engine("shl.u32 $b, 1, $a\nexit")
+        warp = tb.warps[0]
+        warp.registers.write("a", np.array([0, 10, 63, 100], dtype=np.int64))
+        engine.execute_instruction(tb, warp, prog.at(0))
+        got = warp.registers.read("b")
+        assert got[0] == 1 and got[1] == 1024
+        # amounts beyond 63 clamp instead of raising.
+        assert got[3] == got[2]
+
+    def test_float_to_int_truncates(self):
+        prog, engine, tb = setup_engine("cvt.s32 $b, $a\nexit")
+        warp = tb.warps[0]
+        warp.registers.write("a", np.array([1.9, -1.9, 0.5, 2.0]))
+        engine.execute_instruction(tb, warp, prog.at(0))
+        assert warp.registers.read("b").tolist() == [1, -1, 0, 2]
+
+    def test_rem_f32(self):
+        prog, engine, tb = setup_engine("rem.f32 $c, $a, $b\nexit")
+        warp = tb.warps[0]
+        warp.registers.write("a", np.array([5.5, 7.0, -3.0, 9.0]))
+        warp.registers.write("b", np.array([2.0, 2.0, 2.0, 3.0]))
+        engine.execute_instruction(tb, warp, prog.at(0))
+        got = warp.registers.read("c")
+        assert got[0] == pytest.approx(1.5)
+        assert got[1] == pytest.approx(1.0)

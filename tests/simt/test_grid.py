@@ -1,0 +1,97 @@
+"""Unit tests for launch geometry and the warp/thread-ID layout."""
+
+import numpy as np
+import pytest
+
+from repro.simt.grid import Dim3, LaunchConfig, WarpLayout, dim3, tidx_is_tb_redundant
+
+
+class TestDim3:
+    def test_count_and_dimensionality(self):
+        assert Dim3(16, 16).count == 256
+        assert Dim3(16, 16).dimensionality == 2
+        assert Dim3(256).dimensionality == 1
+        assert Dim3(4, 4, 2).dimensionality == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            Dim3(0)
+
+    def test_coercion(self):
+        assert dim3(8) == Dim3(8)
+        assert dim3((4, 2)) == Dim3(4, 2)
+        assert dim3(Dim3(3)) == Dim3(3)
+
+
+class TestLaunchConfig:
+    def test_warps_per_block_rounds_up(self):
+        cfg = LaunchConfig(grid_dim=Dim3(1), block_dim=Dim3(48), warp_size=32)
+        assert cfg.warps_per_block == 2
+
+    def test_block_index_linearisation(self):
+        cfg = LaunchConfig(grid_dim=Dim3(3, 2), block_dim=Dim3(8))
+        idx = cfg.block_index(4)
+        # x varies fastest: linear 4 = (x=1, y=1).
+        assert (idx.x, idx.y, idx.z) == (1, 1, 0)
+
+    def test_total_warps(self):
+        cfg = LaunchConfig(grid_dim=Dim3(2, 2), block_dim=Dim3(16, 16))
+        assert cfg.total_warps == 4 * 8
+
+
+class TestWarpLayout:
+    def test_x_varies_fastest(self):
+        """Section 2: threadIds are assigned to warps by varying x first."""
+        cfg = LaunchConfig(grid_dim=Dim3(1), block_dim=Dim3(4, 4), warp_size=4)
+        layout = WarpLayout(cfg)
+        # With xdim == warp size, every warp holds one full row.
+        for w in range(4):
+            assert layout.tid(w, "x").tolist() == [0, 1, 2, 3]
+            assert layout.tid(w, "y").tolist() == [w] * 4
+
+    def test_tidx_repeats_when_x_divides_warp(self):
+        cfg = LaunchConfig(grid_dim=Dim3(1), block_dim=Dim3(16, 16), warp_size=32)
+        layout = WarpLayout(cfg)
+        expected = list(range(16)) * 2
+        for w in range(8):
+            assert layout.tid(w, "x").tolist() == expected
+
+    def test_1d_tidx_is_sequential(self):
+        cfg = LaunchConfig(grid_dim=Dim3(1), block_dim=Dim3(128), warp_size=32)
+        layout = WarpLayout(cfg)
+        assert layout.tid(2, "x").tolist() == list(range(64, 96))
+
+    def test_partial_warp_mask(self):
+        cfg = LaunchConfig(grid_dim=Dim3(1), block_dim=Dim3(40), warp_size=32)
+        layout = WarpLayout(cfg)
+        assert layout.active_mask(0).all()
+        mask = layout.active_mask(1)
+        assert mask[:8].all() and not mask[8:].any()
+
+
+class TestPromotionCriterion:
+    """Section 4.2: 2D TB, x a power of two, x <= warp size."""
+
+    def test_paper_tb_shapes(self):
+        assert tidx_is_tb_redundant(Dim3(16, 16))
+        assert tidx_is_tb_redundant(Dim3(8, 8))
+        assert tidx_is_tb_redundant(Dim3(32, 32))
+        assert tidx_is_tb_redundant(Dim3(16, 8))
+
+    def test_1d_fails(self):
+        assert not tidx_is_tb_redundant(Dim3(256, 1))
+        assert not tidx_is_tb_redundant(Dim3(32, 1))
+
+    def test_non_power_of_two_fails(self):
+        assert not tidx_is_tb_redundant(Dim3(48, 4))
+        assert not tidx_is_tb_redundant(Dim3(6, 6))
+
+    def test_wider_than_warp_fails(self):
+        assert not tidx_is_tb_redundant(Dim3(64, 4))
+
+    def test_warp_size_parameter(self):
+        assert tidx_is_tb_redundant(Dim3(4, 2), warp_size=4)
+        assert not tidx_is_tb_redundant(Dim3(8, 2), warp_size=4)
+
+    def test_3d_blocks(self):
+        assert tidx_is_tb_redundant(Dim3(8, 2, 2))

@@ -1,0 +1,96 @@
+"""Unit tests for the tracer and value summaries."""
+
+import numpy as np
+
+from repro import Dim3, GlobalMemory, LaunchConfig, Tracer, assemble, run_functional
+from repro.simt.tracer import AFFINE, NONE, UNIFORM, UNSTRUCTURED, ValueSummary
+
+
+class TestValueSummary:
+    def test_uniform(self):
+        s = ValueSummary.of(np.full(8, 42))
+        assert s.kind == UNIFORM and s.base == 42.0
+
+    def test_affine(self):
+        s = ValueSummary.of(np.arange(10, 50, 5))
+        assert s.kind == AFFINE and s.base == 10.0 and s.stride == 5.0
+
+    def test_negative_stride_affine(self):
+        s = ValueSummary.of(np.arange(16, 0, -2))
+        assert s.kind == AFFINE and s.stride == -2.0
+
+    def test_unstructured(self):
+        s = ValueSummary.of(np.array([3, 1, 4, 1, 5]))
+        assert s.kind == UNSTRUCTURED
+
+    def test_repeating_pattern_is_unstructured(self):
+        """Section 2: patterns not expressible as a single (base, stride)
+        pair are unstructured — including the repeating tid.x vector of
+        a 16x16 TB on a 32-wide warp."""
+        s = ValueSummary.of(np.array(list(range(16)) * 2))
+        assert s.kind == UNSTRUCTURED
+
+    def test_equal_vectors_share_summary(self):
+        a = ValueSummary.of(np.array([3, 1, 4, 1]))
+        b = ValueSummary.of(np.array([3, 1, 4, 1]))
+        c = ValueSummary.of(np.array([3, 1, 4, 2]))
+        assert a == b and a != c
+
+    def test_bool_vectors(self):
+        s = ValueSummary.of(np.array([True, True, True]))
+        assert s.kind == UNIFORM and s.base == 1.0
+
+    def test_float_uniform(self):
+        assert ValueSummary.of(np.full(4, 2.5)).kind == UNIFORM
+
+
+class TestTracer:
+    def _trace(self, src, block, warp=4, grid=1):
+        prog = assemble(src)
+        mem = GlobalMemory(1024)
+        out = mem.alloc(64)
+        tracer = Tracer()
+        launch = LaunchConfig(grid_dim=Dim3(grid), block_dim=Dim3(*block), warp_size=warp)
+        run_functional(prog, launch, mem, params={"out": out}, tracer=tracer)
+        return tracer.trace
+
+    SRC = """
+.param out
+    mov.u32 $a, %tid.x
+    mov.u32 $i, 0
+top:
+    add.u32 $a, $a, 1
+    add.u32 $i, $i, 1
+    setp.lt.u32 $p0, $i, 3
+@$p0 bra top
+    shl.u32 $o, %tid.x, 2
+    add.u32 $o, $o, %param.out
+    st.global.s32 [$o], $a
+    exit
+"""
+
+    def test_occurrence_counting(self):
+        trace = self._trace(self.SRC, (4, 2))
+        adds = [r for r in trace.records if r.pc == 16]
+        # 2 warps x 3 iterations.
+        assert len(adds) == 6
+        assert sorted(r.occurrence for r in adds if r.warp_id == 0) == [0, 1, 2]
+
+    def test_store_has_no_summary(self):
+        trace = self._trace(self.SRC, (4, 2))
+        stores = [r for r in trace.records if r.opclass == "store"]
+        assert stores and all(r.summary.kind == NONE for r in stores)
+
+    def test_grouping_by_tb_and_grid(self):
+        trace = self._trace(self.SRC, (4, 2), grid=2)
+        tb_groups = dict(trace.grouped_by_tb())
+        grid_groups = dict(trace.grouped_by_grid())
+        assert len(tb_groups) == 2 * len(grid_groups) or len(tb_groups) > len(grid_groups)
+        # Each TB group holds one record per warp.
+        assert all(len(v) == 2 for v in tb_groups.values())
+
+    def test_metadata(self):
+        trace = self._trace(self.SRC, (4, 2), grid=3)
+        assert trace.num_blocks == 3
+        assert trace.warps_per_block == 2
+        assert trace.total_executed() == len(trace.records)

@@ -1,0 +1,53 @@
+"""Unit tests for the GPU configuration and statistics containers."""
+
+import pytest
+
+from repro.timing import EnergyEvent, GPUConfig, PASCAL_GTX1080TI, SimStats, small_config
+
+
+class TestConfig:
+    def test_table2_defaults(self):
+        c = PASCAL_GTX1080TI
+        assert (c.num_sms, c.max_warps_per_sm, c.max_tbs_per_sm) == (28, 64, 32)
+        assert c.warp_size == 32 and c.num_schedulers == 4
+
+    def test_scaled_copy(self):
+        c = PASCAL_GTX1080TI.scaled(num_sms=2)
+        assert c.num_sms == 2
+        assert PASCAL_GTX1080TI.num_sms == 28  # frozen original untouched
+
+    def test_small_config(self):
+        c = small_config(num_sms=3, alu_latency=6)
+        assert c.num_sms == 3 and c.alu_latency == 6
+
+    def test_hashable(self):
+        assert hash(small_config(1)) == hash(small_config(1))
+
+
+class TestStats:
+    def test_energy_counting(self):
+        s = SimStats()
+        s.count(EnergyEvent.RF_READ, 3)
+        s.count(EnergyEvent.RF_READ)
+        assert s.energy_events[EnergyEvent.RF_READ] == 4
+
+    def test_total_instruction_slots(self):
+        s = SimStats()
+        s.instructions_executed = 70
+        s.instructions_skipped = 30
+        assert s.total_instruction_slots == 100
+        assert s.summary()["skip_fraction"] == 0.3
+
+    def test_merge(self):
+        a, b = SimStats(), SimStats()
+        a.cycles, b.cycles = 10, 20
+        a.instructions_executed, b.instructions_executed = 5, 7
+        a.skipped_by_class["uniform"] = 2
+        b.skipped_by_class["uniform"] = 3
+        a.count(EnergyEvent.DECODE, 4)
+        b.count(EnergyEvent.DECODE, 6)
+        a.merge(b)
+        assert a.cycles == 20          # max across SMs
+        assert a.instructions_executed == 12
+        assert a.skipped_by_class["uniform"] == 5
+        assert a.energy_events[EnergyEvent.DECODE] == 10

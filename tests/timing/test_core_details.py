@@ -1,0 +1,116 @@
+"""Focused tests of SM-core internals: GTO, I-buffers, skip tokens."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DarsieFrontend,
+    Dim3,
+    GlobalMemory,
+    LaunchConfig,
+    analyze_program,
+    assemble,
+    simulate,
+    small_config,
+)
+from repro.timing.core import IBufferEntry, WarpRuntime, _scoreboard_keys
+
+
+class TestScoreboardKeys:
+    def test_alu_keys(self):
+        prog = assemble("mad.f32 $d, $a, $b, $c\nexit")
+        srcs, dests = _scoreboard_keys(prog.instructions[0])
+        assert set(srcs) == {("r", "a"), ("r", "b"), ("r", "c")}
+        assert dests == [("r", "d")]
+
+    def test_guard_and_address_are_sources(self):
+        prog = assemble("@$p0 st.global.f32 [$a + $i], $v\nexit")
+        srcs, dests = _scoreboard_keys(prog.instructions[0])
+        assert set(srcs) == {("r", "a"), ("r", "i"), ("r", "v"), ("p", "p0")}
+        assert dests == []
+
+    def test_setp_dest_is_predicate(self):
+        prog = assemble("setp.lt.u32 $p1, $a, $b\nexit")
+        _, dests = _scoreboard_keys(prog.instructions[0])
+        assert dests == [("p", "p1")]
+
+
+class TestIBufferAccounting:
+    def test_free_and_token_entries_do_not_occupy_slots(self):
+        prog = assemble("nop\nexit")
+        inst = prog.instructions[0]
+
+        class TB:  # minimal stand-in
+            pass
+
+        wrt = WarpRuntime.__new__(WarpRuntime)
+        from collections import deque
+
+        wrt.ibuffer = deque([
+            IBufferEntry(inst=inst),
+            IBufferEntry(inst=inst, free=True),
+            IBufferEntry(inst=inst, skip_token=True),
+        ])
+        assert wrt.buffered() == 1
+
+
+class TestDeterminism:
+    SRC = """
+    .param tab
+    .param out
+        mul.u32 $a, %tid.x, 4
+        add.u32 $a, $a, %param.tab
+        ld.global.s32 $v, [$a]
+        mul.u32 $o, %tid.y, %ntid.x
+        add.u32 $o, $o, %tid.x
+        shl.u32 $o, $o, 2
+        add.u32 $o, $o, %param.out
+        st.global.s32 [$o], $v
+        exit
+    """
+
+    def _run(self, factory=None):
+        prog = assemble(self.SRC)
+        launch = LaunchConfig(grid_dim=Dim3(2), block_dim=Dim3(16, 16))
+        mem = GlobalMemory(1 << 13)
+        p = {"tab": mem.alloc_array(np.arange(16)), "out": mem.alloc(1024)}
+        return simulate(prog, launch, mem, params=p, config=small_config(1),
+                        frontend_factory=factory)
+
+    def test_cycle_counts_are_deterministic(self):
+        assert self._run().cycles == self._run().cycles
+
+    def test_darsie_deterministic(self):
+        prog = assemble(self.SRC)
+        analysis = analyze_program(prog)
+        a = self._run(lambda: DarsieFrontend(analysis))
+        b = self._run(lambda: DarsieFrontend(analysis))
+        assert a.cycles == b.cycles
+        assert a.stats.instructions_skipped == b.stats.instructions_skipped
+
+
+class TestEnergyCounters:
+    def test_fetch_decode_issue_consistency(self):
+        from repro.timing.stats import EnergyEvent
+
+        res = TestDeterminism()._run()
+        s = res.stats
+        assert s.energy_events[EnergyEvent.DECODE] == s.instructions_decoded
+        assert s.energy_events[EnergyEvent.ISSUE] == s.instructions_issued
+        assert s.instructions_fetched == s.instructions_decoded
+        # One I-cache probe serves up to fetch_width instructions.
+        assert s.energy_events[EnergyEvent.ICACHE_FETCH] <= s.instructions_fetched
+
+    def test_darsie_fetches_fewer(self):
+        t = TestDeterminism()
+        prog = assemble(t.SRC)
+        analysis = analyze_program(prog)
+        base = t._run()
+        dar = t._run(lambda: DarsieFrontend(analysis))
+        assert dar.stats.instructions_fetched < base.stats.instructions_fetched
+        from repro.timing.stats import EnergyEvent
+
+        assert (
+            dar.stats.energy_events[EnergyEvent.ICACHE_FETCH]
+            < base.stats.energy_events[EnergyEvent.ICACHE_FETCH]
+        )

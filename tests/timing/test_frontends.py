@@ -1,0 +1,95 @@
+"""Behavioural tests for the non-DARSIE frontends (BASE/UV/SSYNC)."""
+
+import numpy as np
+
+from repro import (
+    Dim3,
+    GlobalMemory,
+    LaunchConfig,
+    SiliconSyncFrontend,
+    UVFrontend,
+    analyze_program,
+    assemble,
+    run_functional,
+    simulate,
+    small_config,
+)
+
+CFG = small_config(num_sms=1)
+
+UNIFORM_HEAVY = """
+.param out
+    mov.u32 $k, 0
+    mov.u32 $acc, 0
+top:
+    mul.u32 $u, %ctaid.x, 3
+    add.u32 $u, $u, 7
+    mul.u32 $u, $u, 5
+    add.u32 $acc, $acc, %tid.x
+    add.u32 $k, $k, 1
+    setp.lt.u32 $p0, $k, 8
+@$p0 bra top
+    add.u32 $acc, $acc, $u
+    shl.u32 $o, %tid.x, 2
+    add.u32 $o, $o, %param.out
+    st.global.s32 [$o], $acc
+    exit
+"""
+
+
+def run_with(factory, src=UNIFORM_HEAVY, block=(32, 4)):
+    prog = assemble(src)
+    analysis = analyze_program(prog)
+    launch = LaunchConfig(grid_dim=Dim3(2), block_dim=Dim3(*block))
+    mem = GlobalMemory(1 << 13)
+    p = {"out": mem.alloc(128)}
+    res = simulate(prog, launch, mem, params=p, config=CFG,
+                   frontend_factory=factory(analysis) if factory else None)
+    return res, mem, p, prog, launch
+
+
+class TestUV:
+    def test_eliminates_uniform_executions_only(self):
+        res, mem, p, prog, launch = run_with(lambda a: (lambda: UVFrontend(a)))
+        assert res.stats.executions_eliminated > 0
+        assert res.stats.eliminated_by_class["uniform"] == res.stats.executions_eliminated
+        # Nothing removed before fetch: UV works at issue.
+        assert res.stats.instructions_skipped == 0
+
+    def test_fetch_count_unchanged_vs_base(self):
+        """UV instructions are still fetched and decoded (Section 5)."""
+        base, *_ = run_with(None)
+        uv, *_ = run_with(lambda a: (lambda: UVFrontend(a)))
+        assert uv.stats.instructions_fetched == base.stats.instructions_fetched
+
+    def test_functional_correctness(self):
+        uv, mem, p, prog, launch = run_with(lambda a: (lambda: UVFrontend(a)))
+        mem_f = GlobalMemory(1 << 13)
+        pf = {"out": mem_f.alloc(128)}
+        run_functional(prog, launch, mem_f, params=pf)
+        assert np.array_equal(mem.words, mem_f.words)
+
+    def test_first_warp_fills_reuse_buffer(self):
+        """One execution per (pc, instance) per TB fills; the other
+        warps reuse.  Uniform instances per warp: 2 initial movs plus 5
+        uniform ops x 8 iterations = 42; (4 - 1) warps eliminate each,
+        in 2 TBs: 42 * 3 * 2 = 252."""
+        res, *_ = run_with(lambda a: (lambda: UVFrontend(a)))
+        assert res.stats.executions_eliminated == 252
+
+
+class TestSiliconSync:
+    def test_slower_or_equal_and_correct(self):
+        base, *_ = run_with(None)
+        res, mem, p, prog, launch = run_with(lambda a: SiliconSyncFrontend)
+        assert res.cycles >= base.cycles
+        assert res.stats.branch_barriers > 0
+        mem_f = GlobalMemory(1 << 13)
+        pf = {"out": mem_f.alloc(128)}
+        run_functional(prog, launch, mem_f, params=pf)
+        assert np.array_equal(mem.words, mem_f.words)
+
+    def test_release_delay_costs_cycles(self):
+        fast, *_ = run_with(lambda a: (lambda: SiliconSyncFrontend(release_delay=1)))
+        slow, *_ = run_with(lambda a: (lambda: SiliconSyncFrontend(release_delay=100)))
+        assert slow.cycles > fast.cycles

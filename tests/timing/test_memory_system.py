@@ -1,0 +1,100 @@
+"""Unit tests for the coalescer, L1 and shared-memory bank model."""
+
+import numpy as np
+
+from repro.timing import SimStats, small_config
+from repro.timing.memory_system import (
+    L1Cache,
+    MemorySystem,
+    coalesce_transactions,
+    shared_bank_conflict_cycles,
+)
+
+FULL = np.ones(32, dtype=bool)
+
+
+class TestCoalescing:
+    def test_unit_stride_one_line(self):
+        addrs = np.arange(32) * 4
+        assert coalesce_transactions(addrs, FULL, 128) == [0]
+
+    def test_strided_many_lines(self):
+        addrs = np.arange(32) * 128
+        assert len(coalesce_transactions(addrs, FULL, 128)) == 32
+
+    def test_mask_filters_lanes(self):
+        addrs = np.arange(32) * 128
+        mask = np.zeros(32, dtype=bool)
+        mask[0] = True
+        assert coalesce_transactions(addrs, mask, 128) == [0]
+
+    def test_empty_mask(self):
+        assert coalesce_transactions(np.zeros(32), np.zeros(32, dtype=bool), 128) == []
+
+
+class TestSharedBanks:
+    def test_conflict_free(self):
+        addrs = np.arange(32) * 4
+        assert shared_bank_conflict_cycles(addrs, FULL, 32) == 0
+
+    def test_broadcast_free(self):
+        addrs = np.zeros(32, dtype=np.int64)
+        assert shared_bank_conflict_cycles(addrs, FULL, 32) == 0
+
+    def test_two_way_conflict(self):
+        # Stride-2 word accesses: two distinct words per bank.
+        addrs = np.arange(32) * 8
+        assert shared_bank_conflict_cycles(addrs, FULL, 32) == 1
+
+    def test_worst_case(self):
+        # All lanes hit bank 0 with distinct words.
+        addrs = np.arange(32) * 32 * 4
+        assert shared_bank_conflict_cycles(addrs, FULL, 32) == 31
+
+
+class TestL1:
+    def test_miss_then_hit(self):
+        l1 = L1Cache(lines=16, assoc=4, line_bytes=128)
+        assert not l1.access(5, is_write=False)
+        assert l1.access(5, is_write=False)
+
+    def test_lru_eviction(self):
+        l1 = L1Cache(lines=4, assoc=2, line_bytes=128)  # 2 sets x 2 ways
+        s = l1.num_sets
+        lines = [0, s, 2 * s]  # all map to set 0
+        for ln in lines:
+            l1.access(ln, is_write=False)
+        assert not l1.access(0, is_write=False)   # evicted
+        assert l1.access(2 * s, is_write=False)   # most recent survives
+
+    def test_writes_do_not_allocate(self):
+        l1 = L1Cache(lines=16, assoc=4, line_bytes=128)
+        l1.access(3, is_write=True)
+        assert not l1.access(3, is_write=False)
+
+
+class TestMemorySystem:
+    def test_hit_faster_than_miss(self):
+        cfg = small_config(1)
+        stats = SimStats()
+        ms = MemorySystem(cfg, stats)
+        addrs = np.arange(32) * 4
+        t_miss = ms.global_access(0, addrs, FULL, is_write=False)
+        t_hit = ms.global_access(0, addrs, FULL, is_write=False)
+        assert t_miss >= cfg.dram_latency
+        assert t_hit == cfg.l1_hit_latency
+        assert stats.l1_misses == 1 and stats.l1_hits == 1
+
+    def test_dram_bandwidth_queues(self):
+        cfg = small_config(1)
+        ms = MemorySystem(cfg, SimStats())
+        wide = np.arange(32) * 128  # 32 transactions, all misses
+        done = ms.global_access(0, wide, FULL, is_write=False)
+        narrow_done = cfg.dram_latency
+        assert done > narrow_done  # queueing delay visible
+
+    def test_shared_access_latency(self):
+        cfg = small_config(1)
+        ms = MemorySystem(cfg, SimStats())
+        addrs = np.arange(32) * 4
+        assert ms.shared_access(10, addrs, FULL) == 10 + cfg.shared_latency

@@ -1,0 +1,82 @@
+"""Unit tests for the pipeline trace viewer."""
+
+import numpy as np
+
+from repro import (
+    DarsieFrontend,
+    Dim3,
+    GlobalMemory,
+    LaunchConfig,
+    analyze_program,
+    assemble,
+    small_config,
+)
+from repro.timing import PipelineTrace
+from repro.timing.gpu import GPU
+
+SRC = """
+.param tab
+.param out
+    mul.u32 $a, %tid.x, 4
+    add.u32 $a, $a, %param.tab
+    ld.global.s32 $v, [$a]
+    mul.u32 $o, %tid.y, %ntid.x
+    add.u32 $o, $o, %tid.x
+    shl.u32 $o, $o, 2
+    add.u32 $o, $o, %param.out
+    st.global.s32 [$o], $v
+    exit
+"""
+
+
+def traced_run(frontend_factory=None):
+    prog = assemble(SRC)
+    mem = GlobalMemory(1 << 12)
+    p = {"tab": mem.alloc_array(np.arange(8)), "out": mem.alloc(256)}
+    launch = LaunchConfig(grid_dim=Dim3(1), block_dim=Dim3(8, 8))
+    gpu = GPU(prog, launch, mem, params=p, config=small_config(1),
+              frontend_factory=frontend_factory)
+    trace = PipelineTrace()
+    gpu.attach_trace(trace)
+    result = gpu.run()
+    return trace, result
+
+
+class TestTrace:
+    def test_base_run_records_fetch_issue_writeback(self):
+        trace, result = traced_run()
+        counts = trace.counts()
+        assert counts["F"] == result.stats.instructions_fetched
+        assert counts["I"] == result.stats.instructions_issued
+        assert counts.get("S", 0) == 0
+
+    def test_darsie_run_records_skips_and_blocks(self):
+        prog = assemble(SRC)
+        analysis = analyze_program(prog)
+        trace, result = traced_run(lambda: DarsieFrontend(analysis))
+        counts = trace.counts()
+        assert counts["S"] == result.stats.instructions_skipped
+        assert counts.get("B", 0) == result.stats.sync_wait_cycles
+
+    def test_render_shows_legend_and_rows(self):
+        trace, _ = traced_run()
+        text = trace.render(max_cycles=50)
+        assert "F=fetch" in text
+        assert "sm0 tb0 w0" in text
+
+    def test_event_cap(self):
+        trace = PipelineTrace(max_events=2)
+        for i in range(5):
+            trace.record(i, 0, 0, 0, "F", 0)
+        assert len(trace.events) == 2 and trace.dropped == 3
+        assert "dropped" in trace.render()
+
+    def test_leader_follower_summary(self):
+        prog = assemble(SRC)
+        analysis = analyze_program(prog)
+        trace, result = traced_run(lambda: DarsieFrontend(analysis))
+        summary = trace.leader_follower_summary()
+        assert "skipped" in summary
+
+    def test_empty_trace(self):
+        assert "empty" in PipelineTrace().render()

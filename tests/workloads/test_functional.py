@@ -1,0 +1,49 @@
+"""Every Table 1 workload verifies against its numpy oracle."""
+
+import numpy as np
+import pytest
+
+from repro import Tracer, run_functional, taxonomy_breakdown
+from repro.workloads import ALL_ABBRS, ONE_D_ABBRS, TWO_D_ABBRS, build_workload
+
+
+@pytest.mark.parametrize("abbr", ALL_ABBRS)
+def test_functional_correctness(abbr):
+    wl = build_workload(abbr, "tiny")
+    mem, params = wl.fresh()
+    engine = run_functional(wl.program, wl.launch, mem, params=params)
+    assert wl.verify(mem, params), f"{abbr} output mismatch"
+    assert engine.instructions_executed > 0
+
+
+@pytest.mark.parametrize("abbr", ALL_ABBRS)
+def test_fresh_memory_is_independent(abbr):
+    wl = build_workload(abbr, "tiny")
+    mem1, p1 = wl.fresh()
+    run_functional(wl.program, wl.launch, mem1, params=p1)
+    mem2, p2 = wl.fresh()
+    # The second image must be untouched by the first run.
+    run_functional(wl.program, wl.launch, mem2, params=p2)
+    assert wl.verify(mem2, p2)
+
+
+@pytest.mark.parametrize("abbr", TWO_D_ABBRS)
+def test_2d_workloads_have_tb_redundancy(abbr):
+    """The structural property the suite exists to exhibit."""
+    wl = build_workload(abbr, "tiny")
+    mem, params = wl.fresh()
+    tracer = Tracer()
+    run_functional(wl.program, wl.launch, mem, params=params, tracer=tracer)
+    b = taxonomy_breakdown(tracer.trace)
+    assert b.tb_redundant > 0.05, f"{abbr}: no TB redundancy at all?"
+
+
+@pytest.mark.parametrize("abbr", ONE_D_ABBRS)
+def test_1d_workloads_lack_nonuniform_redundancy(abbr):
+    wl = build_workload(abbr, "tiny")
+    mem, params = wl.fresh()
+    tracer = Tracer()
+    run_functional(wl.program, wl.launch, mem, params=params, tracer=tracer)
+    b = taxonomy_breakdown(tracer.trace)
+    # 1D TBs: affine/unstructured redundancy marginal (Figure 2).
+    assert b.affine + b.unstructured < 0.15, abbr

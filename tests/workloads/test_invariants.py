@@ -1,0 +1,80 @@
+"""Cross-workload invariants of the elimination mechanisms.
+
+Suite-wide properties that must hold on every Table 1 workload — the
+load-bearing assumptions behind the paper's evaluation methodology.
+"""
+
+import pytest
+
+from repro.timing.stats import EnergyEvent
+from repro.workloads import ALL_ABBRS, build_workload
+from repro.harness.runner import WorkloadRunner
+
+
+@pytest.fixture(scope="module")
+def runners():
+    return {abbr: WorkloadRunner(build_workload(abbr, "tiny")) for abbr in ALL_ABBRS}
+
+
+@pytest.mark.parametrize("abbr", ALL_ABBRS)
+def test_darsie_reduces_frontend_work(runners, abbr):
+    """Skipping before fetch must reduce fetches, decodes and I-cache
+    probes — never increase them (Section 6.1's energy argument)."""
+    base = runners[abbr].run("BASE").stats
+    dar = runners[abbr].run("DARSIE").stats
+    assert dar.instructions_fetched <= base.instructions_fetched
+    assert dar.instructions_decoded <= base.instructions_decoded
+    assert (
+        dar.energy_events[EnergyEvent.ICACHE_FETCH]
+        <= base.energy_events[EnergyEvent.ICACHE_FETCH]
+    )
+    if dar.instructions_skipped:
+        assert dar.instructions_fetched < base.instructions_fetched
+
+
+@pytest.mark.parametrize("abbr", ALL_ABBRS)
+def test_uv_does_not_touch_the_frontend(runners, abbr):
+    """UV eliminates at issue: fetch/decode counts match BASE exactly."""
+    base = runners[abbr].run("BASE").stats
+    uv = runners[abbr].run("UV").stats
+    assert uv.instructions_fetched == base.instructions_fetched
+    assert uv.instructions_decoded == base.instructions_decoded
+    assert uv.instructions_skipped == 0
+
+
+@pytest.mark.parametrize("abbr", ALL_ABBRS)
+def test_skip_accounting_balances(runners, abbr):
+    """Executed + skipped partitions the baseline dynamic stream, and
+    follower skips account for every skipped instruction."""
+    base = runners[abbr].run("BASE").stats
+    dar = runners[abbr].run("DARSIE").stats
+    assert (
+        dar.instructions_executed + dar.instructions_skipped
+        == base.instructions_executed
+    )
+    assert dar.follower_skips == dar.instructions_skipped
+    assert sum(dar.skipped_by_class.values()) == dar.instructions_skipped
+
+
+@pytest.mark.parametrize("abbr", ALL_ABBRS)
+def test_darsie_dynamic_energy_never_above_base(runners, abbr):
+    """Skipping removes fetch/decode/issue/execute events and adds only
+    tiny-SRAM accesses, so *dynamic* energy can never grow.  (Total
+    energy includes leakage and can regress at the tiny scales used in
+    unit tests when cycles stretch; Figure 11's totals are measured at
+    benchmark scale.)"""
+    from repro.energy import PASCAL_ENERGY_MODEL
+
+    base = PASCAL_ENERGY_MODEL.dynamic_energy_pj(runners[abbr].run("BASE").stats)
+    dar = PASCAL_ENERGY_MODEL.dynamic_energy_pj(runners[abbr].run("DARSIE").stats)
+    assert dar <= base * 1.005
+
+
+@pytest.mark.parametrize("abbr", ALL_ABBRS)
+def test_1d_darsie_skips_are_uniform_only(runners, abbr):
+    wl = runners[abbr].workload
+    dar = runners[abbr].run("DARSIE").stats
+    if wl.dimensionality == 1:
+        assert set(dar.skipped_by_class) <= {"uniform"}, (
+            f"{abbr}: 1D TBs must not produce affine/unstructured skips"
+        )

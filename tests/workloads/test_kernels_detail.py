@@ -1,0 +1,124 @@
+"""Per-kernel structural tests: each workload exhibits the redundancy
+profile that motivated its place in Table 1."""
+
+import numpy as np
+import pytest
+
+from repro import Marking, analyze_program, promote_markings
+from repro.core import analyze_program
+from repro.isa.operands import MemSpace
+from repro.workloads import build_workload
+
+
+def skippable_fraction(abbr, scale="tiny"):
+    wl = build_workload(abbr, scale)
+    analysis = analyze_program(wl.program)
+    promoted = promote_markings(analysis.instruction_markings, wl.launch)
+    return len(analysis.skippable_pcs(promoted)) / len(wl.program)
+
+
+class TestStaticProfiles:
+    def test_mm_shared_loads_conditionally_redundant(self):
+        wl = build_workload("MM", "small")
+        analysis = analyze_program(wl.program)
+        shared_loads = [
+            i for i in wl.program.instructions
+            if i.is_load and i.mem.space is MemSpace.SHARED
+        ]
+        crs = [i for i in shared_loads
+               if analysis.instruction_markings[i.pc] is Marking.CONDITIONAL]
+        # The four unrolled Bs reads are CR; the As reads are vector.
+        assert len(crs) == 4
+
+    def test_lib_is_uniform_dominated(self):
+        wl = build_workload("LIB", "small")
+        analysis = analyze_program(wl.program)
+        counts = analysis.counts()
+        assert counts[Marking.REDUNDANT] > counts[Marking.VECTOR]
+
+    def test_cp_atom_loads_definitely_redundant(self):
+        wl = build_workload("CP", "small")
+        analysis = analyze_program(wl.program)
+        global_loads = [
+            i for i in wl.program.instructions
+            if i.is_load and i.mem.space is MemSpace.GLOBAL
+        ]
+        assert all(
+            analysis.instruction_markings[i.pc] is Marking.REDUNDANT
+            for i in global_loads
+        ), "atom records load at loop-index (uniform) addresses"
+
+    def test_2d_apps_gain_skippable_pcs_from_promotion(self):
+        for abbr in ("MM", "FWS", "CONVTEX", "DCT8x8"):
+            wl = build_workload(abbr, "tiny")
+            analysis = analyze_program(wl.program)
+            before = analysis.skippable_pcs()
+            after = analysis.skippable_pcs(
+                promote_markings(analysis.instruction_markings, wl.launch)
+            )
+            assert after > before, f"{abbr}: promotion must unlock skipping"
+
+    def test_1d_apps_gain_nothing_from_promotion(self):
+        for abbr in ("BIN", "PT", "FW", "LIB"):
+            wl = build_workload(abbr, "tiny")
+            analysis = analyze_program(wl.program)
+            before = analysis.skippable_pcs()
+            after = analysis.skippable_pcs(
+                promote_markings(analysis.instruction_markings, wl.launch)
+            )
+            assert after == before, f"{abbr}: 1D launch promotes nothing"
+
+
+class TestOracles:
+    """The numpy oracles themselves are sane (spot checks on known
+    closed forms)."""
+
+    def test_fw_oracle_is_walsh_hadamard(self):
+        from repro.workloads.kernels.fw import _fwht
+
+        # WHT of a delta is constant +-1 pattern; of constants: energy in bin 0.
+        x = np.zeros(8)
+        x[0] = 1.0
+        assert np.allclose(_fwht(x), np.ones(8) * 1.0)
+        c = np.ones(8)
+        out = _fwht(c)
+        assert out[0] == 8.0 and np.allclose(out[1:], 0.0)
+
+    def test_fw_oracle_is_involution_up_to_scale(self):
+        from repro.workloads.kernels.fw import _fwht
+
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(16)
+        assert np.allclose(_fwht(_fwht(x)) / 16.0, x)
+
+    def test_dct_matrix_is_orthonormal(self):
+        from repro.workloads.kernels.dct import _dct_matrix
+
+        c = _dct_matrix(8)
+        assert np.allclose(c @ c.T, np.eye(8), atol=1e-12)
+
+    def test_fws_oracle_shortest_paths(self):
+        from repro.workloads.kernels.fws import _oracle
+
+        inf = 10**6
+        d = np.array([[[0, 1, inf], [inf, 0, 1], [1, inf, 0]]], dtype=np.int64)
+        out = _oracle(d)
+        assert out[0, 0, 2] == 2  # 0 -> 1 -> 2
+        assert out[0, 1, 0] == 2  # 1 -> 2 -> 0
+
+    def test_bin_oracle_converges_to_payoff(self):
+        from repro.workloads.kernels.bin import _oracle
+
+        # With pu + pd = 1 and df = 1, a sure payoff stays put.
+        v = _oracle(s0=100.0, k=0.0, l2u=0.0, pu=0.5, pd=0.5, df=1.0, n=16)
+        assert v == pytest.approx(100.0)
+
+    def test_pt_oracle_respects_block_clamping(self):
+        from repro.workloads.kernels.pt import _oracle
+
+        wall = np.zeros((1, 8), dtype=np.int64)
+        src = np.array([9, 0, 9, 9, 9, 9, 0, 9], dtype=np.int64)
+        out = _oracle(wall, src, block=4)
+        # Column 3 may not see column 4's 0 across the block boundary.
+        assert out[3] == 9
+        assert out[2] == 0

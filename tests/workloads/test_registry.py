@@ -1,0 +1,57 @@
+"""Unit tests for the Table 1 registry."""
+
+import pytest
+
+from repro.workloads import (
+    ALL_ABBRS,
+    ONE_D_ABBRS,
+    TWO_D_ABBRS,
+    TABLE1,
+    build_workload,
+    table1_rows,
+)
+
+
+class TestRegistry:
+    def test_thirteen_workloads(self):
+        assert len(TABLE1) == 13
+        assert set(ALL_ABBRS) == set(TABLE1)
+        assert set(ONE_D_ABBRS) | set(TWO_D_ABBRS) == set(ALL_ABBRS)
+        assert not set(ONE_D_ABBRS) & set(TWO_D_ABBRS)
+
+    def test_dimensionalities(self):
+        for abbr in ONE_D_ABBRS:
+            assert TABLE1[abbr].dimensionality == 1
+        for abbr in TWO_D_ABBRS:
+            assert TABLE1[abbr].dimensionality == 2
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            build_workload("NOPE")
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            build_workload("MM", "gigantic")
+
+    def test_rows_render(self):
+        rows = table1_rows()
+        assert len(rows) == 13
+        assert rows[0][0] == "BIN"
+
+
+class TestBuild:
+    @pytest.mark.parametrize("abbr", ALL_ABBRS)
+    def test_builds_with_consistent_metadata(self, abbr):
+        wl = build_workload(abbr, "tiny")
+        assert wl.abbr == abbr
+        assert wl.launch.warps_per_block >= 1
+        assert wl.program.instructions[-1].is_exit
+        # Params declared by the kernel are provided by the setup.
+        mem, params = wl.fresh()
+        for p in wl.program.params:
+            assert p in params
+
+    def test_small_scale_uses_paper_tb_dims(self):
+        for abbr in ALL_ABBRS:
+            wl = build_workload(abbr, "small")
+            assert wl.tb_dim == TABLE1[abbr].tb_dim, abbr
