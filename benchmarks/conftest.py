@@ -10,10 +10,32 @@ import os
 
 import pytest
 
+from repro.harness import parallel
+
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
 
 #: Scale used by the reproduction benches (override with REPRO_SCALE).
 SCALE = os.environ.get("REPRO_SCALE", "small")
+
+#: Worker processes for sweep fan-out (override with REPRO_JOBS).
+JOBS = int(os.environ.get("REPRO_JOBS", "1") or 1)
+
+#: Set REPRO_NO_CACHE=1 to force every bench to re-simulate.
+USE_CACHE = not os.environ.get("REPRO_NO_CACHE")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _sweep_defaults():
+    """Route every figure driver through the parallel, cached layer."""
+    parallel.configure(
+        jobs=JOBS,
+        use_cache=USE_CACHE,
+        cache_dir=os.path.join(RESULTS_DIR, ".cache"),
+    )
+    yield
+    stats = parallel.last_sweep_stats()
+    if stats is not None:
+        print(f"\n{stats.render()}")
 
 
 @pytest.fixture(scope="session")

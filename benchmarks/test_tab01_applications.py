@@ -3,7 +3,7 @@
 from conftest import run_once
 
 from repro.harness import experiments
-from repro.workloads import ALL_ABBRS, ONE_D_ABBRS, TWO_D_ABBRS, TABLE1
+from repro.workloads import ALL_ABBRS, ONE_D_ABBRS, TABLE1, TWO_D_ABBRS
 
 
 def test_table1(benchmark, archive):

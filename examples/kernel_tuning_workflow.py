@@ -88,7 +88,7 @@ def main() -> None:
     print(trace.render(max_cycles=100, max_warps=6))
     print(f"\nskipped {result.stats.instructions_skipped} instructions "
           f"({result.stats.leaders_elected} leader elections); "
-          f"output verified against the functional model by the harness tests.")
+          "output verified against the functional model by the harness tests.")
 
 
 if __name__ == "__main__":

@@ -16,7 +16,7 @@ Run with::
     python examples/matrix_multiply_study.py
 """
 
-from repro import PASCAL_ENERGY_MODEL, Marking, promote_markings
+from repro import Marking, PASCAL_ENERGY_MODEL, promote_markings
 from repro.harness.runner import WorkloadRunner
 from repro.workloads import build_workload
 
@@ -59,7 +59,7 @@ def main() -> None:
 
     breakdown = PASCAL_ENERGY_MODEL.breakdown(darsie.stats, runner.gpu_config.num_sms)
     print(f"DARSIE structure overhead: {breakdown.overhead_fraction:.2%} of dynamic energy "
-          f"(paper: ~0.95%)")
+          "(paper: ~0.95%)")
     print("\nall configurations verified against numpy: OK")
 
 

@@ -27,7 +27,6 @@ from repro import (
     LaunchConfig,
     analyze_program,
     assemble,
-    run_functional,
     simulate,
     small_config,
 )

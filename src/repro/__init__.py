@@ -23,6 +23,21 @@ See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
 per-figure reproduction harness.
 """
 
+from repro.analysis import geomean, redundancy_levels, taxonomy_breakdown
+from repro.baselines import DacIdealFrontend, UVFrontend, build_dac_profile
+from repro.core import (
+    CompilerAnalysis,
+    DarsieConfig,
+    DarsieFrontend,
+    Marking,
+    RedundancyClass,
+    analyze_program,
+    paper_area_model,
+    promote_markings,
+    promotion_applies,
+)
+from repro.energy import EnergyModel, PASCAL_ENERGY_MODEL
+from repro.harness import WorkloadRunner, experiments
 from repro.isa import AssemblyError, Instruction, Program, assemble
 from repro.isa.encoding import EncodedProgram, decode_program, encode_program
 from repro.simt import (
@@ -35,31 +50,9 @@ from repro.simt import (
     Tracer,
     run_functional,
 )
-from repro.core import (
-    CompilerAnalysis,
-    DarsieConfig,
-    DarsieFrontend,
-    Marking,
-    RedundancyClass,
-    analyze_program,
-    paper_area_model,
-    promote_markings,
-    promotion_applies,
-)
-from repro.timing import (
-    GPU,
-    GPUConfig,
-    PASCAL_GTX1080TI,
-    SimulationResult,
-    simulate,
-    small_config,
-)
+from repro.timing import GPU, GPUConfig, PASCAL_GTX1080TI, SimulationResult, simulate, small_config
 from repro.timing.frontend import NullFrontend, SiliconSyncFrontend
-from repro.baselines import DacIdealFrontend, UVFrontend, build_dac_profile
-from repro.energy import PASCAL_ENERGY_MODEL, EnergyModel
-from repro.analysis import geomean, redundancy_levels, taxonomy_breakdown
 from repro.workloads import ALL_ABBRS, ONE_D_ABBRS, TWO_D_ABBRS, build_workload
-from repro.harness import WorkloadRunner, experiments
 
 __version__ = "1.0.0"
 

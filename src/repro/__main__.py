@@ -4,17 +4,19 @@ Usage::
 
     python -m repro list
     python -m repro figure8 [--scale small] [--apps MM,LIB]
-    python -m repro all --scale tiny
+    python -m repro all --scale tiny --jobs 4
+    python -m repro figure8 --jobs 4 --no-cache
     python -m repro run MM --config DARSIE --trace
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
-from repro.harness import experiments
+from repro.harness import experiments, parallel
 from repro.workloads import ALL_ABBRS
 
 #: name -> (callable, takes_scale, takes_abbrs)
@@ -46,6 +48,9 @@ def run_one(name: str, scale: str, abbrs) -> None:
     result = fn(**kwargs)
     text = result if isinstance(result, str) else result.render()
     print(text)
+    stats = getattr(result, "sweep_stats", None)
+    if stats is not None:
+        print(f"\n{stats.render()}")
     print(f"\n[{name} regenerated in {time.time() - start:.1f}s]")
 
 
@@ -67,7 +72,21 @@ def main(argv=None) -> int:
                         help="for `run`: print a pipeline trace of the first cycles")
     parser.add_argument("--json", action="store_true",
                         help="for `run`: dump the result counters as JSON")
+    parser.add_argument("--jobs", type=int, metavar="N",
+                        default=int(os.environ.get("REPRO_JOBS", "1") or 1),
+                        help="fan (workload, config) runs across N worker "
+                             "processes (default: $REPRO_JOBS or 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not write the results/.cache "
+                             "result cache")
+    parser.add_argument("--clear-cache", action="store_true",
+                        help="delete all cached results before running")
     args = parser.parse_args(argv)
+
+    parallel.configure(jobs=args.jobs, use_cache=not args.no_cache)
+    if args.clear_cache:
+        removed = parallel.clear_cache()
+        print(f"[cache] removed {removed} cached result(s)")
 
     if args.experiment == "run":
         return run_workload(parser, args)
@@ -94,7 +113,7 @@ def main(argv=None) -> int:
 
 def run_workload(parser, args) -> int:
     """`python -m repro run ABBR --config NAME [--trace] [--json]`."""
-    from repro.harness.runner import CONFIG_NAMES, WorkloadRunner
+    from repro.harness.runner import WorkloadRunner
     from repro.timing import PipelineTrace
     from repro.timing.gpu import GPU
     from repro.workloads import build_workload

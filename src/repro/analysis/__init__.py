@@ -9,11 +9,11 @@
 - :mod:`repro.analysis.stats` — geometric means and table helpers.
 """
 
-from repro.analysis.stats import geomean, percent
 from repro.analysis.limit_study import LevelBreakdown, redundancy_levels
-from repro.analysis.taxonomy_study import TaxonomyBreakdown, taxonomy_breakdown
-from repro.analysis.survey import ApplicationSurvey, SurveyEntry, default_survey
 from repro.analysis.opportunity import OpportunityReport, PCOpportunity, opportunity_report
+from repro.analysis.stats import geomean, percent
+from repro.analysis.survey import ApplicationSurvey, SurveyEntry, default_survey
+from repro.analysis.taxonomy_study import TaxonomyBreakdown, taxonomy_breakdown
 
 __all__ = [
     "geomean",

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.core.taxonomy import RedundancyClass, classify_group
-from repro.simt.tracer import UNIFORM, ExecutionTrace
+from repro.simt.tracer import ExecutionTrace, UNIFORM
 
 
 @dataclass

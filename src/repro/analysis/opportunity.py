@@ -76,7 +76,7 @@ class OpportunityReport:
                 r.blocker or "",
             ])
         title = (
-            f"Redundancy opportunity by PC "
+            "Redundancy opportunity by PC "
             f"({self.captured_fraction():.0%} of TB-redundant executions skippable)"
         )
         return format_table(headers, rows, title=title)

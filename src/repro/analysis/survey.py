@@ -21,8 +21,8 @@ CSV to survey an actual machine.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 from repro.simt.grid import Dim3, tidx_is_tb_redundant
 

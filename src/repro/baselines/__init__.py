@@ -9,7 +9,7 @@
   cost between the affine and vector streams.
 """
 
-from repro.baselines.uv import UVFrontend
 from repro.baselines.dac import DacIdealFrontend, build_dac_profile
+from repro.baselines.uv import UVFrontend
 
 __all__ = ["UVFrontend", "DacIdealFrontend", "build_dac_profile"]

@@ -21,16 +21,14 @@ loads stay in the SIMT stream.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set, Tuple
-
-import numpy as np
+from typing import Dict, Optional, Tuple
 
 from repro.isa.instructions import INSTRUCTION_BYTES
 from repro.simt.grid import LaunchConfig
 from repro.simt.memory import GlobalMemory
-from repro.simt.tracer import AFFINE, UNIFORM, Tracer
+from repro.simt.tracer import AFFINE, Tracer, UNIFORM
 from repro.timing.core import IBufferEntry
-from repro.timing.frontend import FetchAction, Frontend
+from repro.timing.frontend import Frontend
 
 #: Profile: (tb, warp, pc, occurrence) -> value-pattern kind, for every
 #: instance a non-executing warp receives for free.

@@ -19,9 +19,8 @@ throughput").
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set, Tuple
+from typing import Optional, Set
 
-from repro.core.promotion import promote_markings
 from repro.core.taxonomy import Marking
 from repro.simt.tracer import UNIFORM
 from repro.timing.frontend import Frontend

@@ -13,20 +13,15 @@
 - :mod:`repro.core.area` — the Section 6.3 area estimate.
 """
 
-from repro.core.taxonomy import (
-    Marking,
-    RedundancyClass,
-    classify_group,
-    classify_tb_groups,
-)
-from repro.core.compiler_pass import CompilerAnalysis, analyze_program
-from repro.core.promotion import promote_markings, promotion_applies, promotion_applies_y
-from repro.core.skip_table import PCSkipTable, SkipTableEntry
-from repro.core.rename import RegisterRenameUnit, RenameError
-from repro.core.coalescer import PCCoalescer
-from repro.core.majority import MajorityPathMask
-from repro.core.darsie import DarsieConfig, DarsieFrontend
 from repro.core.area import AreaModel, paper_area_model
+from repro.core.coalescer import PCCoalescer
+from repro.core.compiler_pass import CompilerAnalysis, analyze_program
+from repro.core.darsie import DarsieConfig, DarsieFrontend
+from repro.core.majority import MajorityPathMask
+from repro.core.promotion import promote_markings, promotion_applies, promotion_applies_y
+from repro.core.rename import RegisterRenameUnit, RenameError
+from repro.core.skip_table import PCSkipTable, SkipTableEntry
+from repro.core.taxonomy import Marking, RedundancyClass, classify_group, classify_tb_groups
 
 __all__ = [
     "Marking",

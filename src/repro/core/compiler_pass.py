@@ -24,13 +24,13 @@ The pass only *adds hints*; the instruction stream is unchanged
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Set
 
-from repro.isa.instructions import Instruction, Opcode
+from repro.core.taxonomy import Marking
+from repro.isa.instructions import Instruction
 from repro.isa.operands import Immediate, Param, Predicate, Register, Special
 from repro.isa.program import Program
-from repro.core.taxonomy import Marking
 
 
 def _intrinsic_marking(operand, enable_3d: bool = False) -> Optional[Marking]:

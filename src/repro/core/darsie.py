@@ -28,7 +28,7 @@ register rename/version unit and the majority-path mask:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
@@ -36,11 +36,11 @@ import numpy as np
 from repro.core.coalescer import PCCoalescer
 from repro.core.majority import MajorityPathMask
 from repro.core.promotion import promote_markings
-from repro.core.rename import RegisterRenameUnit, RenameError
+from repro.core.rename import RegisterRenameUnit
 from repro.core.skip_table import PCSkipTable, SkipTableEntry
 from repro.core.taxonomy import Marking
 from repro.isa.instructions import INSTRUCTION_BYTES, Instruction
-from repro.isa.operands import MemSpace, Register
+from repro.isa.operands import MemSpace
 from repro.timing.core import IBufferEntry
 from repro.timing.frontend import FetchAction, Frontend
 from repro.timing.stats import EnergyEvent
@@ -438,7 +438,7 @@ class DarsieFrontend(Frontend):
             and version is not None
             and st.rename.can_allocate()
         ):
-            vv = st.rename.leader_write(
+            st.rename.leader_write(
                 warp_id,
                 key,
                 version,

@@ -9,7 +9,7 @@ to one, since the whole TB is in sync again.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Set
+from typing import List, Set
 
 
 class MajorityPathMask:

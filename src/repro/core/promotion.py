@@ -18,12 +18,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.core.taxonomy import Marking
-from repro.simt.grid import (
-    Dim3,
-    LaunchConfig,
-    tidx_is_tb_redundant,
-    tidy_is_tb_redundant,
-)
+from repro.simt.grid import Dim3, LaunchConfig, tidx_is_tb_redundant, tidy_is_tb_redundant
 
 
 def promotion_applies(launch: LaunchConfig) -> bool:

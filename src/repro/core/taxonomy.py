@@ -23,13 +23,7 @@ from __future__ import annotations
 import enum
 from typing import Dict, Iterable, List, Tuple
 
-from repro.simt.tracer import (
-    AFFINE,
-    NONE,
-    UNIFORM,
-    UNSTRUCTURED,
-    DynamicInstruction,
-)
+from repro.simt.tracer import AFFINE, DynamicInstruction, NONE, UNIFORM, UNSTRUCTURED
 
 
 class Marking(enum.IntEnum):

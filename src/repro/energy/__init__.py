@@ -3,6 +3,6 @@
 See :mod:`repro.energy.model`.
 """
 
-from repro.energy.model import EnergyModel, EnergyBreakdown, PASCAL_ENERGY_MODEL
+from repro.energy.model import EnergyBreakdown, EnergyModel, PASCAL_ENERGY_MODEL
 
 __all__ = ["EnergyModel", "EnergyBreakdown", "PASCAL_ENERGY_MODEL"]

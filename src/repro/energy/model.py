@@ -18,7 +18,7 @@ this model reproduces.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from repro.timing.stats import EnergyEvent, SimStats

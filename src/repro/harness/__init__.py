@@ -7,11 +7,28 @@
   ``table1`` ... ``table3``, ``area_estimate``, ``survey``: each returns
   a structured result with a ``render()`` text form printing the same
   rows/series the paper reports.
+- :mod:`repro.harness.parallel` — process-pool fan-out of (workload,
+  configuration) runs with an on-disk result cache and per-sweep
+  observability (``RunSpec`` / ``run_specs`` / ``sweep``).
 - :mod:`repro.harness.reporting` — plain-text table rendering.
 """
 
-from repro.harness.runner import CONFIG_NAMES, RunResult, WorkloadRunner
-from repro.harness import experiments
+from repro.harness import experiments, parallel
+from repro.harness.parallel import RunOutcome, RunSpec, SweepError, SweepStats, run_specs
 from repro.harness.reporting import format_table
+from repro.harness.runner import CONFIG_NAMES, RunResult, VerificationError, WorkloadRunner
 
-__all__ = ["CONFIG_NAMES", "RunResult", "WorkloadRunner", "experiments", "format_table"]
+__all__ = [
+    "CONFIG_NAMES",
+    "RunOutcome",
+    "RunResult",
+    "RunSpec",
+    "SweepError",
+    "SweepStats",
+    "VerificationError",
+    "WorkloadRunner",
+    "experiments",
+    "format_table",
+    "parallel",
+    "run_specs",
+]

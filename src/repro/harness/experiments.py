@@ -11,26 +11,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis import (
-    default_survey,
-    geomean,
-    redundancy_levels,
-    taxonomy_breakdown,
-)
+from repro.analysis import default_survey, geomean
 from repro.analysis.limit_study import LevelBreakdown, average_levels
 from repro.analysis.taxonomy_study import TaxonomyBreakdown
-from repro.core import analyze_program, paper_area_model, promote_markings
+from repro.core import DarsieConfig, analyze_program, paper_area_model
+from repro.energy import PASCAL_ENERGY_MODEL
+from repro.harness import parallel
+from repro.harness.parallel import RunSpec, SweepStats
 from repro.harness.related_work import render_table3
 from repro.harness.reporting import fmt_pct, fmt_x, format_table
-from repro.harness.runner import WorkloadRunner, get_runner, make_runners
 from repro.timing import GPUConfig, PASCAL_GTX1080TI, small_config
-from repro.workloads import (
-    ALL_ABBRS,
-    ONE_D_ABBRS,
-    TWO_D_ABBRS,
-    build_workload,
-    table1_rows,
-)
+from repro.workloads import ALL_ABBRS, ONE_D_ABBRS, TWO_D_ABBRS, build_workload, table1_rows
 
 #: Figure 8 configurations, in the paper's legend order.
 FIG8_CONFIGS = ("BASE", "UV", "DAC-IDEAL", "DARSIE", "DARSIE-IGNORE-STORE")
@@ -49,6 +40,7 @@ FIG12_CONFIGS = ("DARSIE", "DARSIE-NO-CF-SYNC", "SILICON-SYNC")
 class Figure1Result:
     per_workload: Dict[str, LevelBreakdown]
     average: LevelBreakdown
+    sweep_stats: Optional[SweepStats] = field(default=None, repr=False, compare=False)
 
     def render(self) -> str:
         headers = ["App", "Grid-wide", "TB-wide", "Warp-wide", "Vector", "Scalar"]
@@ -68,17 +60,20 @@ class Figure1Result:
 
 def figure1(scale: str = "small", abbrs: Sequence[str] = ALL_ABBRS) -> Figure1Result:
     """Redundancy at the grid / TB / warp level, averaged across apps."""
-    per = {}
-    for abbr in abbrs:
-        runner = get_runner(abbr, scale)
-        per[abbr] = redundancy_levels(runner.functional_trace())
-    return Figure1Result(per_workload=per, average=average_levels(list(per.values())))
+    analyses, stats = parallel.functional_sweep(abbrs, scale)
+    per = {abbr: analyses[abbr].levels for abbr in abbrs}
+    return Figure1Result(
+        per_workload=per,
+        average=average_levels(list(per.values())),
+        sweep_stats=stats,
+    )
 
 
 @dataclass
 class Figure2Result:
     per_workload: Dict[str, TaxonomyBreakdown]
     dimensionality: Dict[str, int]
+    sweep_stats: Optional[SweepStats] = field(default=None, repr=False, compare=False)
 
     def render(self) -> str:
         headers = ["App", "TBdim", "Uniform", "Affine", "Unstructured", "Non-Red."]
@@ -100,12 +95,10 @@ class Figure2Result:
 
 
 def figure2(scale: str = "small", abbrs: Sequence[str] = ALL_ABBRS) -> Figure2Result:
-    per, dims = {}, {}
-    for abbr in abbrs:
-        runner = get_runner(abbr, scale)
-        per[abbr] = taxonomy_breakdown(runner.functional_trace())
-        dims[abbr] = runner.workload.dimensionality
-    return Figure2Result(per_workload=per, dimensionality=dims)
+    analyses, stats = parallel.functional_sweep(abbrs, scale)
+    per = {abbr: analyses[abbr].taxonomy for abbr in abbrs}
+    dims = {abbr: analyses[abbr].dimensionality for abbr in abbrs}
+    return Figure2Result(per_workload=per, dimensionality=dims, sweep_stats=stats)
 
 
 # ---------------------------------------------------------------------------
@@ -171,6 +164,7 @@ class SpeedupResult:
     per_workload: Dict[str, Dict[str, float]]   # abbr -> config -> speedup
     gmean_1d: Dict[str, float]
     gmean_2d: Dict[str, float]
+    sweep_stats: Optional[SweepStats] = field(default=None, repr=False, compare=False)
 
     def render(self, title: str = "Figure 8: speedup over the baseline GPU") -> str:
         headers = ["App"] + [c for c in self.configs]
@@ -191,10 +185,12 @@ def _speedup_sweep(
     abbrs: Sequence[str],
     gpu_config: Optional[GPUConfig],
 ) -> SpeedupResult:
+    run_configs = tuple(dict.fromkeys(("BASE",) + tuple(configs)))
+    results, stats = parallel.sweep(abbrs, run_configs, scale=scale, gpu_config=gpu_config)
     per: Dict[str, Dict[str, float]] = {}
     for abbr in abbrs:
-        runner = get_runner(abbr, scale, gpu_config)
-        per[abbr] = {c: runner.speedup(c) for c in configs}
+        base = results[abbr, "BASE"].cycles
+        per[abbr] = {c: base / results[abbr, c].cycles for c in configs}
     def gm(group):
         members = [a for a in group if a in per]
         if not members:
@@ -205,6 +201,7 @@ def _speedup_sweep(
         per_workload=per,
         gmean_1d=gm(ONE_D_ABBRS),
         gmean_2d=gm(TWO_D_ABBRS),
+        sweep_stats=stats,
     )
 
 
@@ -229,6 +226,7 @@ class ReductionResult:
     per_workload: Dict[str, Dict[str, Dict[str, float]]]
     gmean_total: Dict[str, float]
     title: str
+    sweep_stats: Optional[SweepStats] = field(default=None, repr=False, compare=False)
 
     def total(self, abbr: str, config: str) -> float:
         return sum(self.per_workload[abbr][config].values())
@@ -252,13 +250,15 @@ class ReductionResult:
 
 
 def _reduction_sweep(scale, abbrs, title, gpu_config=None) -> ReductionResult:
+    results, sweep_stats = parallel.sweep(
+        abbrs, ("BASE",) + REDUCTION_CONFIGS, scale=scale, gpu_config=gpu_config
+    )
     per: Dict[str, Dict[str, Dict[str, float]]] = {}
     for abbr in abbrs:
-        runner = get_runner(abbr, scale, gpu_config)
-        base_exec = runner.run("BASE").stats.instructions_executed
+        base_exec = results[abbr, "BASE"].stats.instructions_executed
         per[abbr] = {}
         for config in REDUCTION_CONFIGS:
-            stats = runner.run(config).stats
+            stats = results[abbr, config].stats
             removed = dict(stats.skipped_by_class)
             for cls, n in stats.eliminated_by_class.items():
                 removed[cls] = removed.get(cls, 0) + n
@@ -268,7 +268,8 @@ def _reduction_sweep(scale, abbrs, title, gpu_config=None) -> ReductionResult:
         totals = [max(1e-9, sum(per[a][config].values())) for a in per]
         gmean_total[config] = geomean(totals)
     return ReductionResult(
-        configs=REDUCTION_CONFIGS, per_workload=per, gmean_total=gmean_total, title=title
+        configs=REDUCTION_CONFIGS, per_workload=per, gmean_total=gmean_total,
+        title=title, sweep_stats=sweep_stats,
     )
 
 
@@ -302,6 +303,7 @@ class EnergyResult:
     gmean_1d: Dict[str, float]
     gmean_2d: Dict[str, float]
     darsie_overhead: Dict[str, float]           # abbr -> overhead fraction
+    sweep_stats: Optional[SweepStats] = field(default=None, repr=False, compare=False)
 
     def render(self) -> str:
         headers = ["App"] + list(self.configs) + ["DARSIE overhead"]
@@ -324,15 +326,16 @@ def figure11(
     gpu_config: Optional[GPUConfig] = None,
 ) -> EnergyResult:
     configs = ("UV", "DAC-IDEAL", "DARSIE")
+    results, stats = parallel.sweep(
+        abbrs, ("BASE",) + configs, scale=scale, gpu_config=gpu_config
+    )
+    num_sms = (gpu_config or small_config(num_sms=1)).num_sms
     per: Dict[str, Dict[str, float]] = {}
     overhead: Dict[str, float] = {}
     for abbr in abbrs:
-        runner = get_runner(abbr, scale, gpu_config)
-        per[abbr] = {c: runner.energy_reduction(c) for c in configs}
-        darsie = runner.run("DARSIE")
-        breakdown = runner.energy_model.breakdown(
-            darsie.stats, runner.gpu_config.num_sms
-        )
+        base = results[abbr, "BASE"].energy_pj
+        per[abbr] = {c: 1.0 - results[abbr, c].energy_pj / base for c in configs}
+        breakdown = PASCAL_ENERGY_MODEL.breakdown(results[abbr, "DARSIE"].stats, num_sms)
         overhead[abbr] = breakdown.overhead_fraction
     def gm(group):
         members = [a for a in group if a in per]
@@ -350,6 +353,7 @@ def figure11(
         gmean_1d=gm(ONE_D_ABBRS),
         gmean_2d=gm(TWO_D_ABBRS),
         darsie_overhead=overhead,
+        sweep_stats=stats,
     )
 
 
@@ -422,6 +426,7 @@ def survey() -> SurveyResult:
 class AblationResult:
     parameter: str
     points: List[Tuple[object, float]]   # (value, speedup over BASE)
+    sweep_stats: Optional[SweepStats] = field(default=None, repr=False, compare=False)
 
     def render(self) -> str:
         rows = [[str(v), fmt_x(s)] for v, s in self.points]
@@ -429,20 +434,38 @@ class AblationResult:
                             title=f"Ablation: DARSIE speedup vs {self.parameter}")
 
 
+def _ablation_sweep(
+    parameter: str,
+    abbr: str,
+    scale: str,
+    gpu_config: Optional[GPUConfig],
+    variants: Sequence[Tuple[object, str, Optional[DarsieConfig]]],
+) -> AblationResult:
+    """Run BASE plus each (value, config_name, darsie_config) variant."""
+    specs = [RunSpec(abbr=abbr, config_name="BASE", scale=scale, gpu_config=gpu_config)]
+    specs += [
+        RunSpec(abbr=abbr, config_name=name, scale=scale,
+                gpu_config=gpu_config, darsie_config=cfg)
+        for _, name, cfg in variants
+    ]
+    outcomes, stats = parallel.run_specs(specs, strict=True)
+    base = outcomes[0].result.cycles
+    points = [
+        (value, base / outcome.result.cycles)
+        for (value, _, _), outcome in zip(variants, outcomes[1:])
+    ]
+    return AblationResult(parameter=parameter, points=points, sweep_stats=stats)
+
+
 def ablation_skip_ports(
     abbr: str = "MM", scale: str = "small",
     ports: Sequence[int] = (1, 2, 4, 8),
     gpu_config: Optional[GPUConfig] = None,
 ) -> AblationResult:
-    from repro.core import DarsieConfig
-
-    runner = get_runner(abbr, scale, gpu_config)
-    base = runner.run("BASE").cycles
-    points = []
-    for p in ports:
-        res = runner.run(f"DARSIE-ports{p}", DarsieConfig(skip_ports=p))
-        points.append((p, base / res.cycles))
-    return AblationResult(parameter="PC-coalescer ports", points=points)
+    return _ablation_sweep(
+        "PC-coalescer ports", abbr, scale, gpu_config,
+        [(p, f"DARSIE-ports{p}", DarsieConfig(skip_ports=p)) for p in ports],
+    )
 
 
 def ablation_rename_registers(
@@ -450,25 +473,18 @@ def ablation_rename_registers(
     sizes: Sequence[int] = (4, 8, 16, 32),
     gpu_config: Optional[GPUConfig] = None,
 ) -> AblationResult:
-    from repro.core import DarsieConfig
-
-    runner = get_runner(abbr, scale, gpu_config)
-    base = runner.run("BASE").cycles
-    points = []
-    for n in sizes:
-        res = runner.run(f"DARSIE-rename{n}", DarsieConfig(rename_regs_per_tb=n))
-        points.append((n, base / res.cycles))
-    return AblationResult(parameter="rename registers per TB", points=points)
+    return _ablation_sweep(
+        "rename registers per TB", abbr, scale, gpu_config,
+        [(n, f"DARSIE-rename{n}", DarsieConfig(rename_regs_per_tb=n)) for n in sizes],
+    )
 
 
 def ablation_sync_on_write(
     abbr: str = "MM", scale: str = "small", gpu_config: Optional[GPUConfig] = None
 ) -> AblationResult:
     """Versioning (paper's choice) vs synchronize-on-every-write."""
-    runner = get_runner(abbr, scale, gpu_config)
-    base = runner.run("BASE").cycles
-    points = [
-        ("versioning", base / runner.run("DARSIE").cycles),
-        ("sync-on-write", base / runner.run("DARSIE-SYNC-ON-WRITE").cycles),
-    ]
-    return AblationResult(parameter="redundant-write policy", points=points)
+    return _ablation_sweep(
+        "redundant-write policy", abbr, scale, gpu_config,
+        [("versioning", "DARSIE", None),
+         ("sync-on-write", "DARSIE-SYNC-ON-WRITE", None)],
+    )

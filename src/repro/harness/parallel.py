@@ -1,0 +1,496 @@
+"""Parallel, cache-backed execution of (workload × configuration) runs.
+
+Every DARSIE figure and ablation is a sweep over independent, pure,
+oracle-verified timing runs — ideal units for process-pool fan-out.
+This module provides:
+
+- :class:`RunSpec` — a picklable job descriptor naming a (workload,
+  configuration, scale, GPU config) run; the worker reconstructs the
+  whole substrate in the child process, so nothing unpicklable (kernels,
+  memory factories, frontend closures) ever crosses the process
+  boundary;
+- an on-disk result cache under ``results/.cache/`` keyed by a
+  deterministic hash of the kernel program, workload dimensions,
+  configuration and GPU config, invalidated by a cache version *and* a
+  fingerprint of the simulator's own source code, so stale results can
+  never survive a change to the timing model;
+- graceful degradation — a worker crash or :class:`VerificationError`
+  in one run is captured and reported per-spec without aborting the
+  sweep, and execution falls back to serial when ``jobs == 1`` or the
+  platform lacks ``fork``;
+- per-run wall-time / cache-hit observability via :class:`SweepStats`.
+
+The figure drivers in :mod:`repro.harness.experiments` are wired through
+:func:`sweep` / :func:`functional_sweep`; ``python -m repro --jobs N``
+and the benchmark suite (``REPRO_JOBS``) select the pool width.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import re
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass, field
+from multiprocessing import get_all_start_methods, get_context
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis import redundancy_levels, taxonomy_breakdown
+from repro.analysis.limit_study import LevelBreakdown
+from repro.analysis.taxonomy_study import TaxonomyBreakdown
+from repro.core import DarsieConfig
+from repro.harness.runner import RunResult, WorkloadRunner
+from repro.timing import GPUConfig, small_config
+from repro.workloads import build_workload
+
+#: Bump to invalidate every cached result (schema or semantics change).
+CACHE_VERSION = 1
+
+#: Pseudo-configuration name: functional trace analysis (Figures 1/2).
+FUNCTIONAL = "FUNCTIONAL"
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = os.path.join("results", ".cache")
+
+
+# ---------------------------------------------------------------------------
+# Job descriptors and outcomes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One (workload, configuration) run, fully described by plain data.
+
+    The spec carries *names*, not objects: the worker process rebuilds
+    the workload, compiler analysis and timing substrate from scratch,
+    which keeps the descriptor picklable under any start method.
+    """
+
+    abbr: str
+    config_name: str
+    scale: str = "small"
+    gpu_config: Optional[GPUConfig] = None
+    #: explicit DARSIE knobs for ablation variants (e.g. ``DARSIE-ports4``)
+    darsie_config: Optional[DarsieConfig] = None
+
+    @property
+    def label(self) -> str:
+        return f"{self.abbr}/{self.config_name}@{self.scale}"
+
+
+@dataclass
+class FunctionalResult:
+    """Outcome of one :data:`FUNCTIONAL` (trace analysis) run."""
+
+    levels: LevelBreakdown
+    taxonomy: TaxonomyBreakdown
+    dimensionality: int
+
+
+@dataclass
+class RunOutcome:
+    """One spec's result — or its captured failure."""
+
+    spec: RunSpec
+    result: Optional[Union[RunResult, FunctionalResult]]
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    wall_time_s: float = 0.0
+    cache_hit: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class SweepStats:
+    """Observability for one sweep: cache behaviour and wall time."""
+
+    runs: int = 0
+    cache_hits: int = 0
+    #: timing/functional simulations actually executed (cache misses)
+    simulated: int = 0
+    failures: int = 0
+    wall_time_s: float = 0.0
+    jobs: int = 1
+    #: (spec label, seconds, "hit" | "sim" | "fail") in spec order
+    per_run: List[Tuple[str, float, str]] = field(default_factory=list)
+
+    def render(self) -> str:
+        return (
+            f"[sweep] {self.runs} runs in {self.wall_time_s:.1f}s"
+            f" (jobs={self.jobs}): {self.simulated} simulated,"
+            f" {self.cache_hits} cache hits, {self.failures} failures"
+        )
+
+    def detail(self) -> str:
+        """Per-run wall times, slowest first."""
+        lines = [self.render()]
+        for label, seconds, status in sorted(self.per_run, key=lambda r: -r[1]):
+            lines.append(f"  {label:<28} {seconds:8.3f}s  {status}")
+        return "\n".join(lines)
+
+
+class SweepError(RuntimeError):
+    """A strict sweep had failing specs (carried in :attr:`failures`)."""
+
+    def __init__(self, failures: List[RunOutcome]):
+        self.failures = failures
+        summary = "; ".join(
+            f"{o.spec.label}: {o.error_type}" for o in failures[:5]
+        )
+        extra = f" (+{len(failures) - 5} more)" if len(failures) > 5 else ""
+        super().__init__(f"{len(failures)} run(s) failed: {summary}{extra}")
+
+
+# ---------------------------------------------------------------------------
+# Defaults (set by the CLI / benchmark conftest)
+# ---------------------------------------------------------------------------
+
+_defaults = {"jobs": 1, "use_cache": True, "cache_dir": None}
+
+_last_sweep: Optional[SweepStats] = None
+
+
+def configure(
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
+) -> None:
+    """Set process-wide defaults for subsequent sweeps."""
+    if jobs is not None:
+        _defaults["jobs"] = max(1, int(jobs))
+    if use_cache is not None:
+        _defaults["use_cache"] = bool(use_cache)
+    if cache_dir is not None:
+        _defaults["cache_dir"] = cache_dir
+
+
+def default_jobs() -> int:
+    return int(_defaults["jobs"])
+
+
+def cache_enabled() -> bool:
+    return bool(_defaults["use_cache"])
+
+
+def resolve_cache_dir(cache_dir: Optional[str] = None) -> str:
+    return (
+        cache_dir
+        or _defaults["cache_dir"]
+        or os.environ.get("REPRO_CACHE_DIR")
+        or DEFAULT_CACHE_DIR
+    )
+
+
+def last_sweep_stats() -> Optional[SweepStats]:
+    """Stats of the most recent sweep in this process."""
+    return _last_sweep
+
+
+def supports_fork() -> bool:
+    return "fork" in get_all_start_methods()
+
+
+# ---------------------------------------------------------------------------
+# Cache keys
+# ---------------------------------------------------------------------------
+
+_fingerprint_memo: Dict[Tuple[str, str], str] = {}
+_code_fingerprint_memo: Optional[str] = None
+
+
+def _workload_fingerprint(abbr: str, scale: str) -> str:
+    """Hash of the assembled kernel program and launch geometry."""
+    key = (abbr, scale)
+    if key not in _fingerprint_memo:
+        wl = build_workload(abbr, scale)
+        h = hashlib.sha256()
+        h.update(f"{wl.abbr}|{wl.scale}|{wl.tb_dim}|{wl.dimensionality}".encode())
+        lc = wl.launch
+        h.update(
+            f"|grid={tuple(lc.grid_dim)}|block={tuple(lc.block_dim)}"
+            f"|warp={lc.warp_size}".encode()
+        )
+        h.update(f"|shared={wl.program.shared_words}|params={wl.program.params}".encode())
+        for inst in wl.program.instructions:
+            h.update(f"{inst.pc}:{inst}:{inst.target_pc}\n".encode())
+        _fingerprint_memo[key] = h.hexdigest()
+    return _fingerprint_memo[key]
+
+
+def code_fingerprint() -> str:
+    """Hash of every source file in the ``repro`` package.
+
+    Any edit to the simulator, compiler pass or workloads changes this
+    fingerprint, so cached results can never outlive the code that
+    produced them — the versioned-invalidation guarantee.
+    """
+    global _code_fingerprint_memo
+    if _code_fingerprint_memo is None:
+        import repro
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        h = hashlib.sha256()
+        for dirpath, dirnames, filenames in sorted(os.walk(root)):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, name)
+                h.update(os.path.relpath(path, root).encode())
+                with open(path, "rb") as fh:
+                    h.update(fh.read())
+        _code_fingerprint_memo = h.hexdigest()
+    return _code_fingerprint_memo
+
+
+def _resolved_gpu_config(spec: RunSpec) -> GPUConfig:
+    """The config the worker will use (mirrors WorkloadRunner's default)."""
+    return spec.gpu_config or small_config(num_sms=1)
+
+
+def cache_key(spec: RunSpec) -> str:
+    """Deterministic content hash identifying one run's inputs."""
+    parts = {
+        "cache_version": CACHE_VERSION,
+        "code": code_fingerprint(),
+        "program": _workload_fingerprint(spec.abbr, spec.scale),
+        "abbr": spec.abbr,
+        "scale": spec.scale,
+        "config": spec.config_name,
+        "gpu": asdict(_resolved_gpu_config(spec)),
+        "darsie": asdict(spec.darsie_config) if spec.darsie_config else None,
+    }
+    blob = json.dumps(parts, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def cache_path(spec: RunSpec, key: str, cache_dir: str) -> str:
+    slug = re.sub(r"[^A-Za-z0-9_.-]+", "-", f"{spec.abbr}-{spec.config_name}-{spec.scale}")
+    return os.path.join(cache_dir, f"{slug}-{key[:16]}.pkl")
+
+
+def _cache_load(path: str, key: str):
+    """A cached result, or None on miss / version skew / corruption."""
+    try:
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        if not isinstance(payload, dict) or payload.get("key") != key:
+            return None
+        return payload["result"]
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError, KeyError, ValueError):
+        # Missing, truncated or otherwise corrupted entry: treat as a
+        # miss and fall back to a live run (which rewrites the entry).
+        return None
+
+
+def _cache_store(path: str, key: str, result) -> None:
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            pickle.dump({"key": key, "result": result}, fh)
+        os.replace(tmp, path)  # atomic: concurrent sweeps never see partial files
+    except OSError:
+        pass  # caching is best-effort; the run itself already succeeded
+
+
+def clear_cache(cache_dir: Optional[str] = None) -> int:
+    """Delete every cache entry; returns the number removed."""
+    directory = resolve_cache_dir(cache_dir)
+    removed = 0
+    if os.path.isdir(directory):
+        for name in os.listdir(directory):
+            if name.endswith(".pkl"):
+                try:
+                    os.unlink(os.path.join(directory, name))
+                    removed += 1
+                except OSError:
+                    pass
+    return removed
+
+
+# ---------------------------------------------------------------------------
+# Worker entrypoint
+# ---------------------------------------------------------------------------
+
+
+def _build_runner(spec: RunSpec) -> WorkloadRunner:
+    """Reconstruct the substrate for one spec (test seam)."""
+    return WorkloadRunner(build_workload(spec.abbr, spec.scale), spec.gpu_config)
+
+
+def _execute_spec(spec: RunSpec) -> Union[RunResult, FunctionalResult]:
+    runner = _build_runner(spec)
+    if spec.config_name == FUNCTIONAL:
+        trace = runner.functional_trace()
+        return FunctionalResult(
+            levels=redundancy_levels(trace),
+            taxonomy=taxonomy_breakdown(trace),
+            dimensionality=runner.workload.dimensionality,
+        )
+    return runner.run(spec.config_name, spec.darsie_config)
+
+
+def _worker(spec: RunSpec) -> tuple:
+    """Run one spec, capturing any failure as data (never raises)."""
+    start = time.perf_counter()
+    try:
+        result = _execute_spec(spec)
+        return ("ok", result, time.perf_counter() - start)
+    except Exception as exc:
+        return (
+            "err",
+            type(exc).__name__,
+            f"{exc}\n{traceback.format_exc()}",
+            time.perf_counter() - start,
+        )
+
+
+def _outcome_from_payload(spec: RunSpec, payload: tuple) -> RunOutcome:
+    if payload[0] == "ok":
+        _, result, elapsed = payload
+        return RunOutcome(spec=spec, result=result, wall_time_s=elapsed)
+    _, error_type, error, elapsed = payload
+    return RunOutcome(
+        spec=spec, result=None, error=error, error_type=error_type, wall_time_s=elapsed
+    )
+
+
+# ---------------------------------------------------------------------------
+# Sweep execution
+# ---------------------------------------------------------------------------
+
+
+def run_specs(
+    specs: Sequence[RunSpec],
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
+    strict: bool = False,
+) -> Tuple[List[RunOutcome], SweepStats]:
+    """Execute specs across a process pool, consulting the result cache.
+
+    Returns outcomes in spec order plus a :class:`SweepStats`.  With
+    ``strict=True`` a :class:`SweepError` is raised *after* every spec
+    has been attempted, so one failure never hides the others' results.
+    """
+    global _last_sweep
+    jobs = max(1, int(jobs if jobs is not None else _defaults["jobs"]))
+    caching = bool(_defaults["use_cache"] if use_cache is None else use_cache)
+    directory = resolve_cache_dir(cache_dir)
+
+    start = time.perf_counter()
+    outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
+    pending: List[Tuple[int, RunSpec, Optional[str], Optional[str]]] = []
+
+    for i, spec in enumerate(specs):
+        if caching:
+            key = cache_key(spec)
+            path = cache_path(spec, key, directory)
+            cached = _cache_load(path, key)
+            if cached is not None:
+                outcomes[i] = RunOutcome(spec=spec, result=cached, cache_hit=True)
+                continue
+            pending.append((i, spec, key, path))
+        else:
+            pending.append((i, spec, None, None))
+
+    parallel_ok = jobs > 1 and len(pending) > 1 and supports_fork()
+    if parallel_ok:
+        ctx = get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(pending)), mp_context=ctx
+        ) as pool:
+            futures = {
+                pool.submit(_worker, spec): (i, spec) for i, spec, _, _ in pending
+            }
+            for future in as_completed(futures):
+                i, spec = futures[future]
+                try:
+                    payload = future.result()
+                except Exception as exc:
+                    # BrokenProcessPool and friends: the child died hard
+                    # (segfault, OOM kill).  Record it against this spec
+                    # and keep draining the rest of the sweep.
+                    outcomes[i] = RunOutcome(
+                        spec=spec,
+                        result=None,
+                        error=f"worker process died: {exc!r}",
+                        error_type=type(exc).__name__,
+                    )
+                else:
+                    outcomes[i] = _outcome_from_payload(spec, payload)
+    else:
+        for i, spec, _, _ in pending:
+            outcomes[i] = _outcome_from_payload(spec, _worker(spec))
+
+    if caching:
+        for i, spec, key, path in pending:
+            outcome = outcomes[i]
+            if outcome is not None and outcome.ok:
+                _cache_store(path, key, outcome.result)
+
+    final: List[RunOutcome] = [o for o in outcomes if o is not None]
+    stats = SweepStats(
+        runs=len(final),
+        cache_hits=sum(1 for o in final if o.cache_hit),
+        simulated=sum(1 for o in final if o.ok and not o.cache_hit),
+        failures=sum(1 for o in final if not o.ok),
+        wall_time_s=time.perf_counter() - start,
+        jobs=jobs if parallel_ok else 1,
+        per_run=[
+            (o.spec.label, o.wall_time_s, "hit" if o.cache_hit else ("sim" if o.ok else "fail"))
+            for o in final
+        ],
+    )
+    _last_sweep = stats
+
+    if strict:
+        failures = [o for o in final if not o.ok]
+        if failures:
+            raise SweepError(failures)
+    return final, stats
+
+
+def sweep(
+    abbrs: Sequence[str],
+    configs: Sequence[str],
+    scale: str = "small",
+    gpu_config: Optional[GPUConfig] = None,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+    strict: bool = True,
+) -> Tuple[Dict[Tuple[str, str], RunResult], SweepStats]:
+    """Fan out the (workload × configuration) grid; returns keyed results."""
+    specs = [
+        RunSpec(abbr=a, config_name=c, scale=scale, gpu_config=gpu_config)
+        for a in abbrs
+        for c in configs
+    ]
+    outcomes, stats = run_specs(specs, jobs=jobs, use_cache=use_cache, strict=strict)
+    results = {
+        (o.spec.abbr, o.spec.config_name): o.result for o in outcomes if o.ok
+    }
+    return results, stats
+
+
+def functional_sweep(
+    abbrs: Sequence[str],
+    scale: str = "small",
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+    strict: bool = True,
+) -> Tuple[Dict[str, FunctionalResult], SweepStats]:
+    """Fan out the functional-trace analyses behind Figures 1 and 2."""
+    specs = [RunSpec(abbr=a, config_name=FUNCTIONAL, scale=scale) for a in abbrs]
+    outcomes, stats = run_specs(specs, jobs=jobs, use_cache=use_cache, strict=strict)
+    return {o.spec.abbr: o.result for o in outcomes if o.ok}, stats

@@ -6,7 +6,6 @@ mapping onto what this codebase actually implements/models.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.harness.reporting import format_table

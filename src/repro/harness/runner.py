@@ -8,13 +8,13 @@ broken mechanism.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.baselines import DacIdealFrontend, UVFrontend, build_dac_profile
 from repro.core import CompilerAnalysis, DarsieConfig, DarsieFrontend, analyze_program
-from repro.energy import PASCAL_ENERGY_MODEL, EnergyModel
-from repro.simt import GlobalMemory, Tracer, run_functional
+from repro.energy import EnergyModel, PASCAL_ENERGY_MODEL
+from repro.simt import Tracer, run_functional
 from repro.simt.tracer import ExecutionTrace
 from repro.timing import GPUConfig, SimulationResult, simulate, small_config
 from repro.timing.frontend import SiliconSyncFrontend

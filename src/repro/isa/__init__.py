@@ -20,15 +20,15 @@ Public entry points:
 
 from repro.isa.assembler import AssemblyError, assemble
 from repro.isa.instructions import (
-    INSTRUCTION_BYTES,
     ALU_OPS,
     BRANCH_OPS,
+    INSTRUCTION_BYTES,
+    Instruction,
     LOAD_OPS,
     MEMORY_OPS,
+    Opcode,
     SFU_OPS,
     STORE_OPS,
-    Instruction,
-    Opcode,
 )
 from repro.isa.operands import (
     Immediate,

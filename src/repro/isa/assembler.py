@@ -36,22 +36,14 @@ import re
 from typing import List, Optional, Tuple
 
 from repro.isa.instructions import (
-    INSTRUCTION_BYTES,
     CmpOp,
     DType,
+    INSTRUCTION_BYTES,
     Instruction,
     Opcode,
     source_arity,
 )
-from repro.isa.operands import (
-    Immediate,
-    MemRef,
-    MemSpace,
-    Param,
-    Predicate,
-    Register,
-    Special,
-)
+from repro.isa.operands import Immediate, MemRef, MemSpace, Param, Predicate, Register, Special
 from repro.isa.program import Program
 
 

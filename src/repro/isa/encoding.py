@@ -30,16 +30,10 @@ Word layout (LSB first)::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.isa.instructions import (
-    INSTRUCTION_BYTES,
-    CmpOp,
-    DType,
-    Instruction,
-    Opcode,
-)
+from repro.isa.instructions import CmpOp, DType, INSTRUCTION_BYTES, Instruction, Opcode
 from repro.isa.operands import Operand
 from repro.isa.program import Program
 

@@ -11,10 +11,6 @@ Register values are modelled as 32-lane numpy vectors — exactly the
 granularity at which DARSIE reasons about redundancy.
 """
 
-from repro.simt.grid import Dim3, LaunchConfig, WarpLayout
-from repro.simt.memory import GlobalMemory, KernelParams, SharedMemory
-from repro.simt.register_file import WarpRegisterFile
-from repro.simt.warp import SimtStackEntry, WarpState
 from repro.simt.executor import (
     ExecutionContext,
     ExecutionError,
@@ -22,7 +18,11 @@ from repro.simt.executor import (
     ThreadBlockState,
     run_functional,
 )
+from repro.simt.grid import Dim3, LaunchConfig, WarpLayout
+from repro.simt.memory import GlobalMemory, KernelParams, SharedMemory
+from repro.simt.register_file import WarpRegisterFile
 from repro.simt.tracer import DynamicInstruction, ExecutionTrace, Tracer
+from repro.simt.warp import SimtStackEntry, WarpState
 
 __all__ = [
     "Dim3",

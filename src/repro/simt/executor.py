@@ -17,11 +17,11 @@ Two consumers share this engine:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.isa.instructions import INSTRUCTION_BYTES, CmpOp, DType, Instruction, Opcode
+from repro.isa.instructions import CmpOp, DType, INSTRUCTION_BYTES, Instruction, Opcode
 from repro.isa.operands import Immediate, MemRef, MemSpace, Param, Predicate, Register, Special
 from repro.isa.program import Program
 from repro.simt.grid import Dim3, LaunchConfig, WarpLayout

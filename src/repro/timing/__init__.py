@@ -12,12 +12,12 @@ on an identical substrate — the comparison methodology of Section 5.
 """
 
 from repro.timing.config import GPUConfig, PASCAL_GTX1080TI, small_config
-from repro.timing.stats import EnergyEvent, SimStats
-from repro.timing.memory_system import MemorySystem, coalesce_transactions
-from repro.timing.frontend import FetchAction, Frontend, NullFrontend
 from repro.timing.core import SMCore, TBRuntime, WarpRuntime
+from repro.timing.frontend import FetchAction, Frontend, NullFrontend
 from repro.timing.gpu import GPU, SimulationResult, simulate
+from repro.timing.memory_system import MemorySystem, coalesce_transactions
 from repro.timing.pipeline_trace import PipelineTrace
+from repro.timing.stats import EnergyEvent, SimStats
 
 __all__ = [
     "GPUConfig",

@@ -14,7 +14,7 @@ relative results are preserved; DESIGN.md documents this substitution.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 
 @dataclass(frozen=True)

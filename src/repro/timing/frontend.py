@@ -26,9 +26,8 @@ Hook timeline for one instruction:
 from __future__ import annotations
 
 import enum
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
-import numpy as np
 
 
 class FetchAction(enum.Enum):

@@ -8,7 +8,7 @@ the paper's baseline inherits from GPGPU-Sim.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.isa.program import Program
@@ -151,7 +151,7 @@ class GPU:
             elif cycle - watchdog_cycle > 50_000:
                 raise DeadlockError(
                     f"no instruction executed for 50k cycles at cycle {cycle}; "
-                    f"blocked warps: "
+                    "blocked warps: "
                     + ", ".join(
                         f"sm{sm.sm_id}/w{w.age}@{w.fetch_pc:#x}"
                         f"{'S' if w.skip_blocked else ''}"

@@ -19,8 +19,8 @@ Legend: ``F`` fetch, ``I`` issue/execute, ``W`` writeback, ``S`` skip
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 #: Event codes, in precedence order when several land in one cycle.
 FETCH = "F"
@@ -84,7 +84,7 @@ class PipelineTrace:
                 row[e.cycle] = e.kind
         lines = [
             f"pipeline trace, cycles [{start}, {end}) "
-            f"(F=fetch I=issue W=writeback S=skip B=blocked)"
+            "(F=fetch I=issue W=writeback S=skip B=blocked)"
         ]
         # Cycle ruler every 10 columns.
         ruler = "".join("|" if (c % 10 == 0) else " " for c in range(start, end))

@@ -11,10 +11,10 @@ from repro.workloads.base import SCALES, Workload
 from repro.workloads.registry import (
     ALL_ABBRS,
     ONE_D_ABBRS,
-    TWO_D_ABBRS,
     TABLE1,
-    build_workload,
+    TWO_D_ABBRS,
     build_all,
+    build_workload,
     table1_rows,
 )
 

@@ -4,12 +4,7 @@ import numpy as np
 import pytest
 
 from repro import Dim3, GlobalMemory, LaunchConfig, Tracer, assemble, run_functional
-from repro.analysis import (
-    default_survey,
-    geomean,
-    redundancy_levels,
-    taxonomy_breakdown,
-)
+from repro.analysis import default_survey, geomean, redundancy_levels, taxonomy_breakdown
 from repro.analysis.limit_study import average_levels
 from repro.analysis.stats import percent
 

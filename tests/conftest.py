@@ -4,6 +4,19 @@ import numpy as np
 import pytest
 
 from repro import Dim3, GlobalMemory, LaunchConfig, assemble
+from repro.harness import parallel
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    """Point the sweep result cache at a per-session temp directory.
+
+    Unit tests must exercise the real simulation paths — a stale
+    on-disk cache under ``results/.cache`` could otherwise mask
+    regressions (and test runs would pollute the repo checkout).
+    """
+    parallel.configure(cache_dir=str(tmp_path_factory.mktemp("repro-cache")))
+    yield
 
 #: The Figure 3 kernel: array read indexed by tid.x.
 FIGURE3_SRC = """

@@ -8,7 +8,6 @@ static lattice and end-to-end skipping on a genuinely 3D kernel.
 """
 
 import numpy as np
-import pytest
 
 from repro import (
     DarsieFrontend,

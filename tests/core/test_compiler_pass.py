@@ -1,6 +1,5 @@
 """Unit tests for the static DR/CR/V compiler pass (Section 4.2)."""
 
-import pytest
 
 from repro import Marking, analyze_program, assemble
 

@@ -1,7 +1,6 @@
 """Equivalence and no-op properties of the DARSIE frontend."""
 
 import numpy as np
-import pytest
 
 from repro import (
     DarsieConfig,

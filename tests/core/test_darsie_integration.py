@@ -7,7 +7,6 @@ functional run) and the expected microarchitectural statistics.
 """
 
 import numpy as np
-import pytest
 
 from repro import (
     DarsieConfig,
@@ -175,8 +174,8 @@ class TestGlobalCommunication:
             frontends.append(f)
             return f
 
-        res = simulate(prog, launch, mem, params=params, config=CFG,
-                       frontend_factory=factory)
+        simulate(prog, launch, mem, params=params, config=CFG,
+                 frontend_factory=factory)
         assert frontends[0]._global_loads_disabled
         # Counter must still be exact: atomics are never skipped.
         assert mem.read_array(params["ctr"], 1, dtype=np.int64)[0] == 2 * 256

@@ -48,7 +48,7 @@ class TestEviction:
     def test_no_victim_when_waiting_or_pending(self):
         t = PCSkipTable(capacity=2)
         a = t.insert(0x00, leader_warp=0, is_load=False)
-        b = t.insert(0x08, leader_warp=0, is_load=False)
+        t.insert(0x08, leader_warp=0, is_load=False)
         a.leader_wb = True
         a.warps_waiting.add(3)   # synchronizing: not evictable
         # b: leader not written back yet: not evictable

@@ -1,7 +1,6 @@
 """Unit tests for the redundancy taxonomy and marking lattice."""
 
 import numpy as np
-import pytest
 
 from repro.core.taxonomy import (
     Marking,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.energy import PASCAL_ENERGY_MODEL, EnergyModel
+from repro.energy import EnergyModel, PASCAL_ENERGY_MODEL
 from repro.timing import EnergyEvent, SimStats
 
 

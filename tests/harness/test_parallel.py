@@ -1,0 +1,239 @@
+"""The parallel, cache-backed execution layer.
+
+Covers the tentpole guarantees: result-cache hit/miss semantics and
+invalidation, corrupted-entry recovery, per-spec failure isolation
+(a ``VerificationError`` in one run never aborts the sweep), serial and
+process-pool paths agreeing bit-for-bit, and the cache-hit/wall-time
+observability carried by :class:`SweepStats`.
+"""
+
+import pickle
+
+import pytest
+
+from repro.harness import parallel
+from repro.harness.parallel import FUNCTIONAL, RunSpec, SweepError, cache_key, cache_path, run_specs
+from repro.harness.runner import VerificationError, WorkloadRunner
+from repro.timing import small_config
+from repro.workloads import build_workload
+
+SPEC = RunSpec(abbr="LIB", config_name="BASE", scale="tiny")
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    return str(tmp_path / "cache")
+
+
+def run_one(spec, **kwargs):
+    outcomes, stats = run_specs([spec], **kwargs)
+    return outcomes[0], stats
+
+
+class TestCache:
+    def test_miss_then_hit_on_identical_spec(self, cache_dir):
+        first, stats1 = run_one(SPEC, cache_dir=cache_dir, use_cache=True)
+        assert first.ok and not first.cache_hit
+        assert stats1.simulated == 1 and stats1.cache_hits == 0
+
+        second, stats2 = run_one(SPEC, cache_dir=cache_dir, use_cache=True)
+        assert second.ok and second.cache_hit
+        assert stats2.simulated == 0 and stats2.cache_hits == 1
+        assert second.result.cycles == first.result.cycles
+        assert second.result.energy_pj == first.result.energy_pj
+
+    def test_perturbed_specs_miss(self, cache_dir):
+        base_key = cache_key(SPEC)
+        perturbed = [
+            RunSpec(abbr="FW", config_name="BASE", scale="tiny"),
+            RunSpec(abbr="LIB", config_name="DARSIE", scale="tiny"),
+            RunSpec(abbr="LIB", config_name="BASE", scale="small"),
+            RunSpec(abbr="LIB", config_name="BASE", scale="tiny",
+                    gpu_config=small_config(num_sms=2)),
+        ]
+        keys = {cache_key(s) for s in perturbed}
+        assert base_key not in keys
+        assert len(keys) == len(perturbed)
+
+    def test_cache_version_bump_invalidates(self, cache_dir, monkeypatch):
+        run_one(SPEC, cache_dir=cache_dir, use_cache=True)
+        monkeypatch.setattr(parallel, "CACHE_VERSION", parallel.CACHE_VERSION + 1)
+        outcome, stats = run_one(SPEC, cache_dir=cache_dir, use_cache=True)
+        assert outcome.ok and not outcome.cache_hit
+        assert stats.simulated == 1
+
+    def test_corrupted_entry_falls_back_to_live_run(self, cache_dir):
+        first, _ = run_one(SPEC, cache_dir=cache_dir, use_cache=True)
+        key = cache_key(SPEC)
+        path = cache_path(SPEC, key, cache_dir)
+        with open(path, "wb") as fh:
+            fh.write(b"\x00garbage, not a pickle")
+
+        outcome, stats = run_one(SPEC, cache_dir=cache_dir, use_cache=True)
+        assert outcome.ok and not outcome.cache_hit
+        assert stats.simulated == 1
+        assert outcome.result.cycles == first.result.cycles
+        # The live run repaired the entry.
+        hit, _ = run_one(SPEC, cache_dir=cache_dir, use_cache=True)
+        assert hit.cache_hit
+
+    def test_wrong_key_payload_is_a_miss(self, cache_dir):
+        run_one(SPEC, cache_dir=cache_dir, use_cache=True)
+        key = cache_key(SPEC)
+        path = cache_path(SPEC, key, cache_dir)
+        with open(path, "wb") as fh:
+            pickle.dump({"key": "someone-else", "result": "bogus"}, fh)
+        outcome, _ = run_one(SPEC, cache_dir=cache_dir, use_cache=True)
+        assert outcome.ok and not outcome.cache_hit
+
+    def test_no_cache_never_touches_disk(self, tmp_path):
+        directory = tmp_path / "cache"
+        outcome, _ = run_one(SPEC, cache_dir=str(directory), use_cache=False)
+        assert outcome.ok
+        assert not directory.exists()
+
+    def test_clear_cache(self, cache_dir):
+        run_one(SPEC, cache_dir=cache_dir, use_cache=True)
+        assert parallel.clear_cache(cache_dir) == 1
+        outcome, _ = run_one(SPEC, cache_dir=cache_dir, use_cache=True)
+        assert not outcome.cache_hit
+
+
+class TestFailureIsolation:
+    def test_verification_error_is_isolated(self, cache_dir, monkeypatch):
+        """One failing oracle check doesn't abort the rest of the sweep."""
+        real_build = parallel._build_runner
+
+        def sabotaged(spec):
+            runner = real_build(spec)
+            if spec.abbr == "FW":
+                runner.workload.check = lambda mem, params: False
+            return runner
+
+        monkeypatch.setattr(parallel, "_build_runner", sabotaged)
+        specs = [
+            RunSpec(abbr="LIB", config_name="BASE", scale="tiny"),
+            RunSpec(abbr="FW", config_name="BASE", scale="tiny"),
+            RunSpec(abbr="FWS", config_name="BASE", scale="tiny"),
+        ]
+        outcomes, stats = run_specs(specs, cache_dir=cache_dir, use_cache=True)
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert outcomes[1].error_type == "VerificationError"
+        assert "oracle" in outcomes[1].error
+        assert stats.failures == 1 and stats.simulated == 2
+        # Failures are reported per-run in the sweep observability...
+        statuses = dict((label, status) for label, _, status in stats.per_run)
+        assert statuses["FW/BASE@tiny"] == "fail"
+        # ...and never cached: with the sabotage removed, the next run
+        # re-simulates instead of replaying a poisoned entry.
+        monkeypatch.setattr(parallel, "_build_runner", real_build)
+        outcome, _ = run_one(specs[1], cache_dir=cache_dir, use_cache=True)
+        assert outcome.ok and not outcome.cache_hit
+
+    def test_unknown_config_is_isolated(self, cache_dir):
+        specs = [
+            RunSpec(abbr="LIB", config_name="NO-SUCH-CONFIG", scale="tiny"),
+            RunSpec(abbr="LIB", config_name="BASE", scale="tiny"),
+        ]
+        outcomes, stats = run_specs(specs, cache_dir=cache_dir)
+        assert not outcomes[0].ok and outcomes[0].error_type == "KeyError"
+        assert outcomes[1].ok
+        assert stats.failures == 1
+
+    def test_strict_raises_after_completing_sweep(self, cache_dir):
+        specs = [
+            RunSpec(abbr="LIB", config_name="NO-SUCH-CONFIG", scale="tiny"),
+            RunSpec(abbr="LIB", config_name="BASE", scale="tiny"),
+        ]
+        with pytest.raises(SweepError) as excinfo:
+            run_specs(specs, cache_dir=cache_dir, strict=True)
+        assert len(excinfo.value.failures) == 1
+        assert "NO-SUCH-CONFIG" in excinfo.value.failures[0].spec.label
+
+    def test_raising_runner_maps_to_verification_error(self):
+        """The underlying runner still raises VerificationError itself."""
+        runner = WorkloadRunner(build_workload("LIB", "tiny"))
+        runner.workload.check = lambda mem, params: False
+        with pytest.raises(VerificationError):
+            runner.run("BASE")
+
+
+@pytest.mark.skipif(not parallel.supports_fork(), reason="needs fork start method")
+class TestProcessPool:
+    def test_pool_matches_serial(self, cache_dir):
+        specs = [
+            RunSpec(abbr=a, config_name=c, scale="tiny")
+            for a in ("LIB", "FWS")
+            for c in ("BASE", "DARSIE")
+        ]
+        serial, _ = run_specs(specs, jobs=1, use_cache=False)
+        pooled, stats = run_specs(specs, jobs=2, use_cache=False)
+        assert stats.jobs == 2
+        for s, p in zip(serial, pooled):
+            assert p.ok, p.error
+            assert p.result.cycles == s.result.cycles
+            assert p.result.energy_pj == s.result.energy_pj
+            assert p.result.stats.instructions_executed == \
+                s.result.stats.instructions_executed
+
+    def test_pool_failure_isolation(self, cache_dir):
+        specs = [
+            RunSpec(abbr="LIB", config_name="BASE", scale="tiny"),
+            RunSpec(abbr="LIB", config_name="NO-SUCH-CONFIG", scale="tiny"),
+            RunSpec(abbr="FWS", config_name="BASE", scale="tiny"),
+        ]
+        outcomes, stats = run_specs(specs, jobs=2, use_cache=False)
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert stats.failures == 1
+
+    def test_figure8_pool_render_is_byte_identical(self, cache_dir, monkeypatch):
+        from repro.harness import experiments
+
+        monkeypatch.setattr(parallel, "_defaults",
+                            dict(jobs=1, use_cache=False, cache_dir=cache_dir))
+        serial = experiments.figure8(scale="tiny", abbrs=("LIB", "FWS"))
+        parallel.configure(jobs=2)
+        pooled = experiments.figure8(scale="tiny", abbrs=("LIB", "FWS"))
+        assert pooled.render() == serial.render()
+
+
+class TestFunctionalSpecs:
+    def test_functional_sweep_cached(self, cache_dir):
+        spec = RunSpec(abbr="LIB", config_name=FUNCTIONAL, scale="tiny")
+        outcome, stats = run_one(spec, cache_dir=cache_dir, use_cache=True)
+        assert outcome.ok
+        assert outcome.result.dimensionality == 1
+        assert 0.0 <= outcome.result.levels.tb <= 1.0
+        hit, stats2 = run_one(spec, cache_dir=cache_dir, use_cache=True)
+        assert hit.cache_hit and stats2.simulated == 0
+        assert hit.result.levels == outcome.result.levels
+
+
+class TestSpecPlumbing:
+    def test_specs_are_picklable(self):
+        from repro.core import DarsieConfig
+
+        spec = RunSpec(abbr="MM", config_name="DARSIE-ports4", scale="tiny",
+                       gpu_config=small_config(num_sms=2),
+                       darsie_config=DarsieConfig(skip_ports=4))
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.label == "MM/DARSIE-ports4@tiny"
+
+    def test_darsie_variant_roundtrip(self, cache_dir):
+        from repro.core import DarsieConfig
+
+        spec = RunSpec(abbr="FWS", config_name="DARSIE-ports1", scale="tiny",
+                       darsie_config=DarsieConfig(skip_ports=1))
+        outcome, _ = run_one(spec, cache_dir=cache_dir, use_cache=True)
+        assert outcome.ok and outcome.result.config_name == "DARSIE-ports1"
+        # Variant knobs are part of the cache key.
+        other = RunSpec(abbr="FWS", config_name="DARSIE-ports1", scale="tiny",
+                        darsie_config=DarsieConfig(skip_ports=2))
+        assert cache_key(other) != cache_key(spec)
+
+    def test_last_sweep_stats_exposed(self, cache_dir):
+        _, stats = run_one(SPEC, cache_dir=cache_dir, use_cache=False)
+        assert parallel.last_sweep_stats() is stats
+        assert "1 runs" in stats.render()
+        assert "LIB/BASE@tiny" in stats.detail()

@@ -2,15 +2,9 @@
 
 import pytest
 
-from repro.harness.reporting import fmt_pct, fmt_x, format_table
 from repro.harness.related_work import TABLE3, darsie_covers_all, render_table3
-from repro.harness.runner import (
-    CONFIG_NAMES,
-    VerificationError,
-    WorkloadRunner,
-    clear_runner_cache,
-    get_runner,
-)
+from repro.harness.reporting import fmt_pct, fmt_x, format_table
+from repro.harness.runner import CONFIG_NAMES, WorkloadRunner, clear_runner_cache, get_runner
 from repro.workloads import build_workload
 
 

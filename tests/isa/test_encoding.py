@@ -4,10 +4,10 @@ import pytest
 
 from repro.isa import assemble
 from repro.isa.encoding import (
+    EncodingError,
     HINT_CONDITIONAL,
     HINT_REDUNDANT,
     HINT_VECTOR,
-    EncodingError,
     decode_program,
     encode_instruction,
     encode_program,

@@ -3,13 +3,12 @@
 from repro.isa import assemble
 from repro.isa.instructions import (
     ALU_OPS,
-    BRANCH_OPS,
     INSTRUCTION_BYTES,
     LOAD_OPS,
     MEMORY_OPS,
+    Opcode,
     SFU_OPS,
     STORE_OPS,
-    Opcode,
     source_arity,
 )
 

@@ -4,14 +4,13 @@ import pytest
 
 from repro.isa.operands import (
     CONDITIONALLY_REDUNDANT_SPECIALS,
-    TB_UNIFORM_SPECIALS,
     Immediate,
     MemRef,
     MemSpace,
     Param,
-    Predicate,
     Register,
     Special,
+    TB_UNIFORM_SPECIALS,
 )
 
 

@@ -53,8 +53,7 @@ class TestBasicBlocks:
 class TestReconvergence:
     def test_diamond_reconverges_at_join(self):
         prog = assemble(DIAMOND)
-        branch_pc = prog.labels.get("then") and 16  # the @$p0 bra
-        rpc = prog.reconvergence_pc(16)
+        rpc = prog.reconvergence_pc(16)  # the @$p0 bra
         assert rpc == prog.labels["join"]
 
     def test_loop_backedge_reconverges_at_exit_block(self):

@@ -7,7 +7,6 @@ control-flow history.  We check it by executing random straight-line
 programs and comparing per-warp outputs for every promoted-DR PC.
 """
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

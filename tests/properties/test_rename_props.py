@@ -9,7 +9,7 @@ skip; counts advance one instance at a time) must preserve:
 """
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
 

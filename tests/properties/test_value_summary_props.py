@@ -1,7 +1,7 @@
 """Property-based tests for value-pattern classification."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.simt.tracer import AFFINE, UNIFORM, UNSTRUCTURED, ValueSummary

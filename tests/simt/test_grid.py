@@ -1,6 +1,5 @@
 """Unit tests for launch geometry and the warp/thread-ID layout."""
 
-import numpy as np
 import pytest
 
 from repro.simt.grid import Dim3, LaunchConfig, WarpLayout, dim3, tidx_is_tb_redundant

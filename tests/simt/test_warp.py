@@ -2,7 +2,7 @@
 
 import numpy as np
 
-from repro.simt.warp import SimtStackEntry, WarpState
+from repro.simt.warp import WarpState
 
 
 def make_warp(n=4):

@@ -1,8 +1,7 @@
 """Unit tests for the GPU configuration and statistics containers."""
 
-import pytest
 
-from repro.timing import EnergyEvent, GPUConfig, PASCAL_GTX1080TI, SimStats, small_config
+from repro.timing import EnergyEvent, PASCAL_GTX1080TI, SimStats, small_config
 
 
 class TestConfig:

@@ -1,7 +1,6 @@
 """Focused tests of SM-core internals: GTO, I-buffers, skip tokens."""
 
 import numpy as np
-import pytest
 
 from repro import (
     DarsieFrontend,

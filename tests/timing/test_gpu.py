@@ -3,15 +3,8 @@
 import numpy as np
 import pytest
 
-from repro import (
-    Dim3,
-    GlobalMemory,
-    LaunchConfig,
-    assemble,
-    simulate,
-    small_config,
-)
-from repro.timing.gpu import GPU, DeadlockError, SimulationResult
+from repro import Dim3, GlobalMemory, LaunchConfig, assemble, simulate, small_config
+from repro.timing.gpu import GPU, SimulationResult
 
 SRC = """
 .param out

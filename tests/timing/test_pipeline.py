@@ -3,16 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import (
-    Dim3,
-    GlobalMemory,
-    LaunchConfig,
-    NullFrontend,
-    assemble,
-    run_functional,
-    simulate,
-    small_config,
-)
+from repro import Dim3, GlobalMemory, LaunchConfig, assemble, run_functional, simulate, small_config
 from repro.timing.gpu import DeadlockError
 
 CFG = small_config(num_sms=1)

@@ -1,6 +1,5 @@
 """Every Table 1 workload verifies against its numpy oracle."""
 
-import numpy as np
 import pytest
 
 from repro import Tracer, run_functional, taxonomy_breakdown

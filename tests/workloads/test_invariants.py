@@ -6,9 +6,9 @@ load-bearing assumptions behind the paper's evaluation methodology.
 
 import pytest
 
+from repro.harness.runner import WorkloadRunner
 from repro.timing.stats import EnergyEvent
 from repro.workloads import ALL_ABBRS, build_workload
-from repro.harness.runner import WorkloadRunner
 
 
 @pytest.fixture(scope="module")

@@ -2,14 +2,7 @@
 
 import pytest
 
-from repro.workloads import (
-    ALL_ABBRS,
-    ONE_D_ABBRS,
-    TWO_D_ABBRS,
-    TABLE1,
-    build_workload,
-    table1_rows,
-)
+from repro.workloads import ALL_ABBRS, ONE_D_ABBRS, TABLE1, TWO_D_ABBRS, build_workload, table1_rows
 
 
 class TestRegistry:
