@@ -19,7 +19,7 @@ def test_figure10(benchmark, archive):
     assert result.gmean_total["DARSIE"] > result.gmean_total["UV"]
     assert result.gmean_total["DARSIE"] > 0.10, "2D reductions should be substantial"
     # Unstructured redundancy is removed by DARSIE alone.
-    for abbr, by_config in result.per_workload.items():
+    for _abbr, by_config in result.per_workload.items():
         assert by_config["UV"].get("unstructured", 0.0) == 0.0
         assert by_config["DAC-IDEAL"].get("unstructured", 0.0) == 0.0
     assert any(

@@ -50,6 +50,17 @@ from repro.simt import (
     Tracer,
     run_functional,
 )
+from repro.staticlib import (
+    ControlFlowGraph,
+    LintReport,
+    Liveness,
+    ReachingDefinitions,
+    SoundnessReport,
+    audit_all,
+    audit_workload,
+    lint_program,
+    lint_workload,
+)
 from repro.timing import GPU, GPUConfig, PASCAL_GTX1080TI, SimulationResult, simulate, small_config
 from repro.timing.frontend import NullFrontend, SiliconSyncFrontend
 from repro.workloads import ALL_ABBRS, ONE_D_ABBRS, TWO_D_ABBRS, build_workload
@@ -72,4 +83,7 @@ __all__ = [
     "geomean", "redundancy_levels", "taxonomy_breakdown",
     "ALL_ABBRS", "ONE_D_ABBRS", "TWO_D_ABBRS", "build_workload",
     "WorkloadRunner", "experiments",
+    "ControlFlowGraph", "ReachingDefinitions", "Liveness",
+    "LintReport", "lint_program", "lint_workload",
+    "SoundnessReport", "audit_workload", "audit_all",
 ]

@@ -7,6 +7,8 @@ Usage::
     python -m repro all --scale tiny --jobs 4
     python -m repro figure8 --jobs 4 --no-cache
     python -m repro run MM --config DARSIE --trace
+    python -m repro lint [MM,LIB] [--strict]
+    python -m repro soundness --scale tiny
 """
 
 from __future__ import annotations
@@ -59,9 +61,11 @@ def main(argv=None) -> int:
         prog="python -m repro",
         description="Regenerate tables/figures from the DARSIE paper (ASPLOS 2020).",
     )
-    parser.add_argument("experiment", choices=list(EXPERIMENTS) + ["list", "all", "run"])
+    parser.add_argument("experiment",
+                        choices=list(EXPERIMENTS) + ["list", "all", "run", "lint", "soundness"])
     parser.add_argument("workload", nargs="?", default=None,
-                        help="for `run`: a Table 1 abbreviation, e.g. MM")
+                        help="for `run`: a Table 1 abbreviation, e.g. MM; "
+                             "for `lint`: comma-separated abbreviations (default: all)")
     parser.add_argument("--scale", default="small", choices=["tiny", "small", "medium"],
                         help="workload problem size (default: small)")
     parser.add_argument("--apps", default=None,
@@ -81,6 +85,8 @@ def main(argv=None) -> int:
                              "result cache")
     parser.add_argument("--clear-cache", action="store_true",
                         help="delete all cached results before running")
+    parser.add_argument("--strict", action="store_true",
+                        help="for `lint`: treat warnings as failures too")
     args = parser.parse_args(argv)
 
     parallel.configure(jobs=args.jobs, use_cache=not args.no_cache)
@@ -90,6 +96,12 @@ def main(argv=None) -> int:
 
     if args.experiment == "run":
         return run_workload(parser, args)
+
+    if args.experiment == "lint":
+        return run_lint(parser, args)
+
+    if args.experiment == "soundness":
+        return run_soundness(parser, args)
 
     if args.experiment == "list":
         print("available experiments:")
@@ -109,6 +121,46 @@ def main(argv=None) -> int:
         run_one(name, args.scale, abbrs)
         print()
     return 0
+
+
+def _resolve_abbrs(parser, args):
+    """Kernel selection for `lint`/`soundness`: positional, --apps, or all."""
+    spec = args.workload or args.apps
+    if not spec:
+        return ALL_ABBRS
+    abbrs = tuple(a.strip().upper() for a in spec.split(","))
+    unknown = set(abbrs) - set(ALL_ABBRS)
+    if unknown:
+        parser.error(f"unknown apps: {sorted(unknown)}; known: {ALL_ABBRS}")
+    return abbrs
+
+
+def run_lint(parser, args) -> int:
+    """`python -m repro lint [ABBR,ABBR,...] [--scale S] [--strict]`."""
+    from repro.staticlib import lint_workload
+    from repro.workloads import build_workload
+
+    abbrs = _resolve_abbrs(parser, args)
+    errors = warnings = 0
+    for abbr in abbrs:
+        report = lint_workload(build_workload(abbr, args.scale))
+        errors += len(report.errors)
+        warnings += len(report.warnings)
+        print(f"{abbr:>8}: {report.render()}")
+    failed = errors or (args.strict and warnings)
+    print(f"\nlint: {len(abbrs)} kernel(s), {errors} error(s), {warnings} warning(s)"
+          + (" [strict]" if args.strict else ""))
+    return 1 if failed else 0
+
+
+def run_soundness(parser, args) -> int:
+    """`python -m repro soundness [--scale S] [--apps ABBR,...]`."""
+    from repro.staticlib import audit_all
+
+    abbrs = _resolve_abbrs(parser, args)
+    report = audit_all(scale=args.scale, abbrs=abbrs)
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def run_workload(parser, args) -> int:

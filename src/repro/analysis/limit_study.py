@@ -68,7 +68,7 @@ def redundancy_levels(trace: ExecutionTrace) -> LevelBreakdown:
             tb_redundant_keys.add((tb, pc, occ))
 
     grid_count = 0
-    for (pc, occ), records in trace.grouped_by_grid():
+    for (_pc, _occ), records in trace.grouped_by_grid():
         if classify_group(records, warps * blocks) is not RedundancyClass.NON_REDUNDANT:
             grid_count += len(records)
 

@@ -107,7 +107,7 @@ def opportunity_report(
     executions: Dict[int, int] = {}
     redundant: Dict[int, int] = {}
     warps = trace.warps_per_block
-    for (tb, pc, occ), records in trace.grouped_by_tb():
+    for (_tb, pc, _occ), records in trace.grouped_by_tb():
         executions[pc] = executions.get(pc, 0) + len(records)
         cls = classify_group(records, warps)
         if cls is not RedundancyClass.NON_REDUNDANT:

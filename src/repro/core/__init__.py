@@ -15,7 +15,12 @@
 
 from repro.core.area import AreaModel, paper_area_model
 from repro.core.coalescer import PCCoalescer
-from repro.core.compiler_pass import CompilerAnalysis, analyze_program
+from repro.core.compiler_pass import (
+    CompilerAnalysis,
+    UninitializedReadError,
+    UninitializedReadWarning,
+    analyze_program,
+)
 from repro.core.darsie import DarsieConfig, DarsieFrontend
 from repro.core.majority import MajorityPathMask
 from repro.core.promotion import promote_markings, promotion_applies, promotion_applies_y
@@ -30,6 +35,8 @@ __all__ = [
     "classify_tb_groups",
     "CompilerAnalysis",
     "analyze_program",
+    "UninitializedReadError",
+    "UninitializedReadWarning",
     "promote_markings",
     "promotion_applies",
     "promotion_applies_y",

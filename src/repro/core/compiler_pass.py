@@ -24,13 +24,22 @@ The pass only *adds hints*; the instruction stream is unchanged
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Set
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
 
 from repro.core.taxonomy import Marking
 from repro.isa.instructions import Instruction
 from repro.isa.operands import Immediate, Param, Predicate, Register, Special
 from repro.isa.program import Program
+
+
+class UninitializedReadWarning(UserWarning):
+    """A kernel reads a register that no path has written (see below)."""
+
+
+class UninitializedReadError(ValueError):
+    """Strict-mode rejection of a kernel with read-before-write registers."""
 
 
 def _intrinsic_marking(operand, enable_3d: bool = False) -> Optional[Marking]:
@@ -58,6 +67,10 @@ class CompilerAnalysis:
     instruction_markings: Dict[int, Marking]
     register_markings: Dict[str, Marking]
     predicate_markings: Dict[str, Marking]
+    #: reads of never-written registers found by reaching definitions —
+    #: the places where the pass's "unwritten register is DR" default
+    #: actually fired (empty for every well-formed kernel).
+    uninitialized_reads: Tuple = field(default_factory=tuple)
 
     def marking_of(self, pc: int) -> Marking:
         return self.instruction_markings[pc]
@@ -98,7 +111,9 @@ class CompilerAnalysis:
         return out
 
 
-def analyze_program(program: Program, enable_3d: bool = False) -> CompilerAnalysis:
+def analyze_program(
+    program: Program, enable_3d: bool = False, strict: bool = False
+) -> CompilerAnalysis:
     """Run the static redundancy-marking pass to a fixpoint.
 
     The analysis is flow-insensitive over registers (a register's class
@@ -106,10 +121,39 @@ def analyze_program(program: Program, enable_3d: bool = False) -> CompilerAnalys
     only demote a skippable instruction to vector, never the reverse, so
     it preserves the non-speculative guarantee the paper requires.
 
+    **Precondition** (checked): every register and predicate is written
+    before it is read on every path from entry.  The pass defaults a
+    register with no recorded definition to DR — sound only because the
+    machine architecturally zero-fills registers, which is TB-uniform.
+    A kernel that actually *relies* on that implicit zero is almost
+    always a porting bug, so reaching definitions are consulted: any
+    genuinely uninitialized read raises :class:`UninitializedReadError`
+    when ``strict`` is true, and otherwise emits an
+    :class:`UninitializedReadWarning` (the same condition the
+    ``uninitialized-read`` rule of :mod:`repro.staticlib.lint` reports)
+    and is recorded on :attr:`CompilerAnalysis.uninitialized_reads`.
+
     ``enable_3d`` turns on the 3D extension: ``tid.y`` seeds the
     CONDITIONAL_Y class, promoted at launch under the ``x*y`` criterion
     (off by default — the paper limits its analysis to ``tid.x``).
     """
+    # Deferred import: staticlib's linter layer consumes this module.
+    from repro.staticlib.reaching import find_uninitialized_reads
+
+    uninitialized = find_uninitialized_reads(program)
+    if uninitialized:
+        detail = ", ".join(
+            f"{u.display_name}@{u.pc:#06x}" for u in uninitialized[:8]
+        )
+        message = (
+            f"{program.name}: {len(uninitialized)} read(s) of never-written "
+            f"registers ({detail}); the marking pass would treat them as "
+            "uniformly zero"
+        )
+        if strict:
+            raise UninitializedReadError(message)
+        warnings.warn(message, UninitializedReadWarning, stacklevel=2)
+
     # Optimistic initialisation at the strongest marking; the meet-based
     # update is monotonically decreasing, so iteration terminates.
     reg_mark: Dict[str, Marking] = {}
@@ -118,16 +162,39 @@ def analyze_program(program: Program, enable_3d: bool = False) -> CompilerAnalys
 
     def reg_of(name: str, table: Dict[str, Marking]) -> Marking:
         # A register read before any write holds zeros in every lane of
-        # every warp — uniform, hence definitely redundant.
+        # every warp — uniform, hence definitely redundant (see the
+        # checked precondition in the docstring: this default is only
+        # reached for genuinely uninitialized reads, which are linted).
         return table.get(name, Marking.REDUNDANT)
+
+    # Kleene iteration from the top of a finite lattice: every iteration
+    # that reports a change strictly lowers at least one register or
+    # predicate marking (instruction marks settle one sweep later), so
+    # the principled bound is lattice height x table entries, plus the
+    # settle/detect sweeps — not `len(program) + 2`, which a dependence
+    # chain of one register per instruction ran within one sweep of.
+    num_vars = len(
+        {r.name for inst in program.instructions for r in inst.source_registers()}
+        | {inst.dest_register().name for inst in program.instructions
+           if inst.dest_register() is not None}
+    ) + len(
+        {p.name for inst in program.instructions for p in inst.source_predicates()}
+        | {inst.dest_predicate().name for inst in program.instructions
+           if inst.dest_predicate() is not None}
+    )
+    lattice_height = len(Marking) - 1
+    max_iterations = lattice_height * num_vars + 3
 
     changed = True
     iterations = 0
     while changed:
         changed = False
         iterations += 1
-        if iterations > len(program) + 2:
-            raise RuntimeError("compiler pass failed to converge")
+        if iterations > max_iterations:
+            raise RuntimeError(
+                f"compiler pass failed to converge within {max_iterations} "
+                f"iterations (lattice height {lattice_height} x {num_vars} variables)"
+            )
         new_reg: Dict[str, Marking] = {}
         new_pred: Dict[str, Marking] = {}
         for inst in program.instructions:
@@ -152,6 +219,7 @@ def analyze_program(program: Program, enable_3d: bool = False) -> CompilerAnalys
         instruction_markings=inst_mark,
         register_markings=reg_mark,
         predicate_markings=pred_mark,
+        uninitialized_reads=uninitialized,
     )
 
 

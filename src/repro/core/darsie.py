@@ -206,7 +206,7 @@ class DarsieFrontend(Frontend):
             return
         serviced, _deferred = self.coalescer.arbitrate(candidates)
         self.sm.stats.count(EnergyEvent.PC_COALESCER)
-        for (tb_seq, pc), wids in serviced:
+        for (_tb_seq, pc), wids in serviced:
             for wid in wids:
                 tb_rt, wrt = warp_of[wid]
                 self._perform_skip(tb_rt, wrt, pc)

@@ -434,7 +434,7 @@ def run_specs(
             outcomes[i] = _outcome_from_payload(spec, _worker(spec))
 
     if caching:
-        for i, spec, key, path in pending:
+        for i, _spec, key, path in pending:
             outcome = outcomes[i]
             if outcome is not None and outcome.ok:
                 _cache_store(path, key, outcome.result)

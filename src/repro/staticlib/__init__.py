@@ -1,0 +1,78 @@
+"""Static-analysis framework over :class:`repro.isa.program.Program`.
+
+DARSIE's whole-program guarantee rests on the static marking pass never
+over-promoting an instruction to DR (Section 4.2): a definitely-redundant
+instruction is *skipped* by follower warps, so a marking that is wrong at
+runtime silently corrupts results.  This subpackage provides the
+independent machinery to check that, and to machine-check kernels people
+add before they ever reach the simulator:
+
+- :mod:`repro.staticlib.cfg` — CFG construction (blocks, branch and
+  fallthrough edges, reachability, traversal orders);
+- :mod:`repro.staticlib.dominators` — dominator / post-dominator trees
+  (Cooper-Harvey-Kennedy);
+- :mod:`repro.staticlib.dataflow` — a generic gen/kill worklist solver;
+- :mod:`repro.staticlib.reaching` — reaching definitions and def-use
+  chains, including synthetic entry definitions that expose
+  read-before-write registers;
+- :mod:`repro.staticlib.liveness` — backward liveness;
+- :mod:`repro.staticlib.lint` — the kernel linter (divergence hazards,
+  uninitialized reads, malformed control flow, Section 4.4 store
+  hazards), producing Figure-6-style annotated findings;
+- :mod:`repro.staticlib.soundness` — the marking soundness cross-checker:
+  replays workloads through :mod:`repro.simt.tracer` and asserts every
+  statically-DR instruction is dynamically uniform across all warps of
+  every TB.
+
+Layering: ``cfg``/``dominators``/``dataflow``/``reaching``/``liveness``
+depend only on :mod:`repro.isa` (the compiler pass itself calls into
+them); ``lint`` and ``soundness`` additionally consume
+:mod:`repro.core` and :mod:`repro.simt`.
+"""
+
+from repro.staticlib.cfg import EXIT_BLOCK, ControlFlowGraph
+from repro.staticlib.dataflow import solve_gen_kill
+from repro.staticlib.dominators import dominates, dominator_tree, postdominator_tree
+from repro.staticlib.lint import RULES, Finding, LintReport, lint_program, lint_workload
+from repro.staticlib.liveness import Liveness
+from repro.staticlib.reaching import (
+    ENTRY_PC,
+    Definition,
+    ReachingDefinitions,
+    UninitializedRead,
+    find_uninitialized_reads,
+)
+from repro.staticlib.soundness import (
+    SoundnessReport,
+    SoundnessViolation,
+    WorkloadAudit,
+    audit_all,
+    audit_trace,
+    audit_workload,
+)
+
+__all__ = [
+    "EXIT_BLOCK",
+    "ControlFlowGraph",
+    "dominator_tree",
+    "postdominator_tree",
+    "dominates",
+    "solve_gen_kill",
+    "ENTRY_PC",
+    "Definition",
+    "ReachingDefinitions",
+    "UninitializedRead",
+    "find_uninitialized_reads",
+    "Liveness",
+    "RULES",
+    "Finding",
+    "LintReport",
+    "lint_program",
+    "lint_workload",
+    "SoundnessReport",
+    "SoundnessViolation",
+    "WorkloadAudit",
+    "audit_all",
+    "audit_trace",
+    "audit_workload",
+]

@@ -1,0 +1,114 @@
+"""Dominator and post-dominator trees (Cooper-Harvey-Kennedy).
+
+The linter uses post-dominance to reason about where divergent paths
+rejoin and dominance to relate definitions to uses across blocks; both
+are the standard "engineering a simple, fast dominance algorithm"
+iteration over reverse postorder, with no sparse-tree tricks — kernels
+here are tens of blocks at most.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.staticlib.cfg import EXIT_BLOCK, ControlFlowGraph
+
+
+def _reverse_postorder(
+    root: int, succ_of: Callable[[int], Tuple[int, ...]]
+) -> List[int]:
+    post: List[int] = []
+    seen = set()
+    stack: List[Tuple[int, bool]] = [(root, False)]
+    while stack:
+        node, finished = stack.pop()
+        if finished:
+            post.append(node)
+            continue
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.append((node, True))
+        for s in succ_of(node):
+            if s not in seen:
+                stack.append((s, False))
+    return list(reversed(post))
+
+
+def _idoms(
+    root: int,
+    succ_of: Callable[[int], Tuple[int, ...]],
+    pred_of: Callable[[int], Tuple[int, ...]],
+) -> Dict[int, int]:
+    """Immediate dominators for every node reachable from ``root``.
+
+    ``idom[root] == root``; nodes unreachable from ``root`` are absent.
+    """
+    order = _reverse_postorder(root, succ_of)
+    index = {node: i for i, node in enumerate(order)}
+    idom: Dict[int, int] = {root: root}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in order[1:]:
+            preds = [p for p in pred_of(node) if p in idom]
+            if not preds:
+                continue
+            new = preds[0]
+            for p in preds[1:]:
+                new = intersect(new, p)
+            if idom.get(node) != new:
+                idom[node] = new
+                changed = True
+    return idom
+
+
+def dominator_tree(cfg: ControlFlowGraph) -> Dict[int, int]:
+    """Immediate dominator of every reachable block (entry maps to itself)."""
+    if not cfg.program.blocks:
+        return {}
+    reachable = cfg.reachable
+
+    def succ_of(node: int) -> Tuple[int, ...]:
+        return tuple(s for s in cfg.succ.get(node, ()) if s != EXIT_BLOCK and s in reachable)
+
+    def pred_of(node: int) -> Tuple[int, ...]:
+        return tuple(p for p in cfg.pred.get(node, ()) if p in reachable)
+
+    return _idoms(0, succ_of, pred_of)
+
+
+def postdominator_tree(cfg: ControlFlowGraph) -> Dict[int, int]:
+    """Immediate post-dominator of every block that can reach kernel exit.
+
+    Rooted at the virtual :data:`EXIT_BLOCK`; blocks that cannot reach
+    exit (e.g. provably infinite loops) are absent from the result.
+    """
+
+    def succ_of(node: int) -> Tuple[int, ...]:
+        return cfg.pred.get(node, ())
+
+    def pred_of(node: int) -> Tuple[int, ...]:
+        return cfg.succ.get(node, ())
+
+    return _idoms(EXIT_BLOCK, succ_of, pred_of)
+
+
+def dominates(idom: Dict[int, int], a: int, b: int) -> bool:
+    """True when ``a`` (post-)dominates ``b`` under the given tree."""
+    node: Optional[int] = b
+    while node is not None:
+        if node == a:
+            return True
+        parent = idom.get(node)
+        node = parent if parent != node else None
+    return False

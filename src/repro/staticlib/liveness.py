@@ -1,0 +1,69 @@
+"""Backward liveness over registers and predicates.
+
+A variable is *live* at a point when some path from that point reads it
+before any unguarded write.  Guarded writes do not kill (lanes whose
+guard is false keep the old value — see :mod:`repro.staticlib.reaching`
+for the same convention on the forward side).
+
+The linter uses liveness for the Section 4.4 store-invalidation hazard:
+a DR-skipped load whose destination is still live when a vector store to
+the same space executes means follower warps may consume a renamed value
+the store has just made stale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+from repro.isa.program import Program
+from repro.staticlib.cfg import ControlFlowGraph
+from repro.staticlib.dataflow import solve_gen_kill
+from repro.staticlib.reaching import Var, var_def, var_reads
+
+
+class Liveness:
+    """Per-block and per-instruction live variable sets."""
+
+    def __init__(self, program: Program, cfg: Optional[ControlFlowGraph] = None):
+        self.program = program
+        self.cfg = cfg or ControlFlowGraph.from_program(program)
+        self._compute()
+
+    def _compute(self) -> None:
+        gen: Dict[int, FrozenSet[Var]] = {}
+        kill: Dict[int, FrozenSet[Var]] = {}
+        for block in self.program.blocks:
+            use: set = set()
+            defined: set = set()
+            for inst in block:
+                for var in var_reads(inst):
+                    if var not in defined:
+                        use.add(var)
+                d = var_def(inst)
+                if d is not None and inst.guard is None:
+                    defined.add(d)
+            gen[block.index] = frozenset(use)
+            kill[block.index] = frozenset(defined)
+        self.block_in, self.block_out = solve_gen_kill(
+            self.cfg, gen, kill, direction="backward", boundary=frozenset()
+        )
+
+        self._live_in: Dict[int, FrozenSet[Var]] = {}
+        self._live_out: Dict[int, FrozenSet[Var]] = {}
+        for block in self.program.blocks:
+            live = self.block_out[block.index]
+            for inst in reversed(block.instructions):
+                self._live_out[inst.pc] = live
+                d = var_def(inst)
+                if d is not None and inst.guard is None:
+                    live = live - {d}
+                live = live | frozenset(var_reads(inst))
+                self._live_in[inst.pc] = live
+
+    def live_in_at(self, pc: int) -> FrozenSet[Var]:
+        """Variables live just before the instruction at ``pc``."""
+        return self._live_in[pc]
+
+    def live_out_at(self, pc: int) -> FrozenSet[Var]:
+        """Variables live just after the instruction at ``pc``."""
+        return self._live_out[pc]

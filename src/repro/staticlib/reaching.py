@@ -1,0 +1,219 @@
+"""Reaching definitions and def-use chains over registers and predicates.
+
+Variables are ``(kind, name)`` pairs — ``("r", "acc")`` for general
+registers, ``("p", "p0")`` for predicates — matching the two separate
+register spaces of the ISA.  Two deliberate modelling choices:
+
+- **Synthetic entry definitions.**  Every variable the program touches
+  gets a definition at the virtual :data:`ENTRY_PC`.  A read that one of
+  these reaches is a *read-before-write*: the machine architecturally
+  supplies zeros, but DARSIE's compiler pass additionally *assumes* that
+  implicit zero is TB-uniform when it defaults unseen registers to DR
+  (Section 4.2's precondition).  :func:`find_uninitialized_reads` makes
+  the assumption checkable.
+
+- **Guarded writes do not kill.**  ``@$p mov $a, ...`` merges new lanes
+  into ``$a`` under the guard; lanes where the guard is false keep the
+  prior value, so earlier definitions (including the entry definition)
+  still reach past it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.isa.instructions import Instruction
+from repro.isa.program import Program
+from repro.staticlib.cfg import ControlFlowGraph
+from repro.staticlib.dataflow import solve_gen_kill
+
+#: PC of the synthetic definition every variable has at kernel entry.
+ENTRY_PC = -1
+
+#: A variable: ("r", register_name) or ("p", predicate_name).
+Var = Tuple[str, str]
+
+
+def var_reads(inst: Instruction) -> Tuple[Var, ...]:
+    """Variables read by ``inst``: sources, address registers, guard."""
+    reads: List[Var] = [("r", r.name) for r in inst.source_registers()]
+    reads.extend(("p", p.name) for p in inst.source_predicates())
+    return tuple(dict.fromkeys(reads))
+
+
+def var_def(inst: Instruction) -> Optional[Var]:
+    """The variable ``inst`` writes, if any."""
+    dreg = inst.dest_register()
+    if dreg is not None:
+        return ("r", dreg.name)
+    dpred = inst.dest_predicate()
+    if dpred is not None:
+        return ("p", dpred.name)
+    return None
+
+
+@dataclass(frozen=True)
+class Definition:
+    """One write of one variable (or the synthetic entry write)."""
+
+    pc: int
+    var: Var
+
+    @property
+    def is_entry(self) -> bool:
+        return self.pc == ENTRY_PC
+
+    def __repr__(self) -> str:
+        where = "entry" if self.is_entry else f"{self.pc:#06x}"
+        return f"Def({self.var[0]}:{self.var[1]}@{where})"
+
+
+@dataclass(frozen=True)
+class UninitializedRead:
+    """A read that a synthetic entry definition can reach."""
+
+    pc: int
+    var: Var
+
+    @property
+    def display_name(self) -> str:
+        return f"${self.var[1]}"
+
+
+class ReachingDefinitions:
+    """Flow-sensitive reaching definitions for one program."""
+
+    def __init__(self, program: Program, cfg: Optional[ControlFlowGraph] = None):
+        self.program = program
+        self.cfg = cfg or ControlFlowGraph.from_program(program)
+        self._compute()
+
+    # -- construction ----------------------------------------------------
+
+    def _compute(self) -> None:
+        program = self.program
+        self.variables: FrozenSet[Var] = frozenset(
+            v
+            for inst in program.instructions
+            for v in (*var_reads(inst), *((var_def(inst),) if var_def(inst) else ()))
+        )
+        self.entry_defs: FrozenSet[Definition] = frozenset(
+            Definition(ENTRY_PC, v) for v in self.variables
+        )
+        defs_by_var: Dict[Var, set] = {v: {Definition(ENTRY_PC, v)} for v in self.variables}
+        for inst in program.instructions:
+            d = var_def(inst)
+            if d is not None:
+                defs_by_var[d].add(Definition(inst.pc, d))
+        self._defs_by_var = {v: frozenset(s) for v, s in defs_by_var.items()}
+
+        gen: Dict[int, FrozenSet] = {}
+        kill: Dict[int, FrozenSet] = {}
+        for block in program.blocks:
+            facts: FrozenSet[Definition] = frozenset()
+            killed: FrozenSet[Definition] = frozenset()
+            for inst in block:
+                facts, killed = self._transfer(inst, facts, killed)
+            gen[block.index] = facts
+            kill[block.index] = killed
+        self.block_in, self.block_out = solve_gen_kill(
+            self.cfg, gen, kill, direction="forward", boundary=self.entry_defs
+        )
+
+        # Per-instruction facts: definitions reaching the *start* of each pc.
+        self._at: Dict[int, FrozenSet[Definition]] = {}
+        for block in program.blocks:
+            facts = self.block_in[block.index]
+            for inst in block:
+                self._at[inst.pc] = facts
+                facts, _ = self._transfer(inst, facts, frozenset())
+
+    def _transfer(
+        self, inst: Instruction, facts: FrozenSet, killed: FrozenSet
+    ) -> Tuple[FrozenSet, FrozenSet]:
+        d = var_def(inst)
+        if d is None:
+            return facts, killed
+        new_def = Definition(inst.pc, d)
+        if inst.guard is None:
+            others = self._defs_by_var[d] - {new_def}
+            return (facts - others) | {new_def}, killed | others
+        return facts | {new_def}, killed
+
+    # -- queries ---------------------------------------------------------
+
+    def at(self, pc: int) -> FrozenSet[Definition]:
+        """Definitions reaching the start of the instruction at ``pc``."""
+        return self._at[pc]
+
+    def reaching_defs_of(self, pc: int, var: Var) -> FrozenSet[Definition]:
+        return frozenset(d for d in self._at[pc] if d.var == var)
+
+    def def_use_chains(self) -> Dict[Definition, Tuple[int, ...]]:
+        """Map each definition to the PCs of the reads it can reach."""
+        chains: Dict[Definition, List[int]] = {}
+        for inst in self.program.instructions:
+            reads = var_reads(inst)
+            if not reads:
+                continue
+            reaching = self._at[inst.pc]
+            for var in reads:
+                for d in reaching:
+                    if d.var == var:
+                        chains.setdefault(d, []).append(inst.pc)
+        return {d: tuple(pcs) for d, pcs in chains.items()}
+
+    def uninitialized_reads(self) -> Tuple[UninitializedRead, ...]:
+        """Reachable reads that a synthetic entry definition reaches.
+
+        These are the reads for which the compiler pass's "unwritten
+        register is REDUNDANT" default actually fires — the lint-backed
+        precondition of :func:`repro.core.compiler_pass.analyze_program`.
+
+        One predicate-aware refinement keeps the guarded reduction idiom
+        the Table 1 kernels use (``@$p ld $a, ...`` then ``@$p add ...,
+        $a, ...``) from flagging: a read under guard ``g`` is *covered*
+        by an earlier same-block write of the same variable under the
+        same ``g`` (same predicate, same polarity, predicate not
+        redefined in between) — both instructions execute with the same
+        lane mask, so every lane that reads did write.  Coverage is
+        deliberately block-local: across blocks the mask equality would
+        need path-sensitive reasoning.
+        """
+        out: List[UninitializedRead] = []
+        for block in self.program.blocks:
+            if block.index not in self.cfg.reachable:
+                continue
+            facts = self.block_in[block.index]
+            # var -> set of (guard predicate name, negated) that wrote it
+            covered: Dict[Var, set] = {}
+            for inst in block:
+                guard_key = None
+                if inst.guard is not None:
+                    guard_key = (inst.guard.name, inst.guard_negated)
+                for var in var_reads(inst):
+                    if Definition(ENTRY_PC, var) not in facts:
+                        continue
+                    if guard_key is not None and guard_key in covered.get(var, ()):
+                        continue
+                    out.append(UninitializedRead(pc=inst.pc, var=var))
+                d = var_def(inst)
+                if d is not None:
+                    if inst.guard is None:
+                        covered.pop(d, None)
+                    else:
+                        covered.setdefault(d, set()).add(guard_key)
+                    if d[0] == "p":
+                        # Redefining a predicate invalidates every
+                        # coverage fact conditioned on it.
+                        for keys in covered.values():
+                            keys.discard((d[1], False))
+                            keys.discard((d[1], True))
+                facts, _ = self._transfer(inst, facts, frozenset())
+        return tuple(sorted(out, key=lambda u: (u.pc, u.var)))
+
+
+def find_uninitialized_reads(program: Program) -> Tuple[UninitializedRead, ...]:
+    """Convenience wrapper used by the compiler pass's precondition check."""
+    return ReachingDefinitions(program).uninitialized_reads()

@@ -436,7 +436,7 @@ class SMCore:
         n = len(self.warps)
         if n == 0:
             return
-        for initiated in range(self.config.fetch_warps_per_cycle):
+        for _initiated in range(self.config.fetch_warps_per_cycle):
             chosen = None
             for i in range(n):
                 wrt = self.warps[(self._fetch_rr + i) % n]

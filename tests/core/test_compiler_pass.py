@@ -1,7 +1,11 @@
 """Unit tests for the static DR/CR/V compiler pass (Section 4.2)."""
 
+import warnings
+
+import pytest
 
 from repro import Marking, analyze_program, assemble
+from repro.core import UninitializedReadError, UninitializedReadWarning
 
 
 def markings_of(src):
@@ -139,6 +143,64 @@ class TestSkippablePCs:
         _, a = markings_of("mul.u32 $a, %tid.x, 4\nexit")
         assert a.skippable_pcs() == set()
 
+
+class TestUninitializedReadPrecondition:
+    """The "unwritten register is DR" default is now a checked precondition."""
+
+    UNINIT_SRC = "add.u32 $b, $a, 1\nexit"
+
+    def test_default_mode_warns_and_records(self):
+        with pytest.warns(UninitializedReadWarning, match=r"\$a"):
+            analysis = analyze_program(assemble(self.UNINIT_SRC))
+        assert len(analysis.uninitialized_reads) == 1
+        assert analysis.uninitialized_reads[0].pc == 0x00
+        # The default still applies: the implicit zero is TB-uniform.
+        assert analysis.instruction_markings[0x00] is Marking.REDUNDANT
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(UninitializedReadError, match="never-written"):
+            analyze_program(assemble(self.UNINIT_SRC), strict=True)
+
+    def test_clean_kernel_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            analysis = analyze_program(assemble("mov.u32 $a, 1\nadd.u32 $b, $a, 1\nexit"))
+        assert analysis.uninitialized_reads == ()
+
+
+class TestConvergenceBound:
+    """The iteration cap is lattice height x variables, not program length."""
+
+    @staticmethod
+    def chain_source(length):
+        """A dependence chain of `length` distinct registers, vector at
+        the top — markings propagate one register per sweep, the
+        worst case for the fixpoint iteration."""
+        lines = ["mov.u32 $r0, %tid.y"]
+        lines += [f"add.u32 $r{i}, $r{i - 1}, 1" for i in range(1, length)]
+        lines.append("exit")
+        return "\n".join(lines)
+
+    def test_long_chain_near_old_bound_converges(self):
+        # The old cap was `len(program) + 2`; a chain of one register per
+        # instruction converged within one sweep of it.  The principled
+        # bound (3 markings x N registers) leaves real headroom.
+        length = 40
+        analysis = analyze_program(assemble(self.chain_source(length)))
+        marks = analysis.instruction_markings
+        # The vector seed reached the very bottom of the chain.
+        assert marks[(length - 1) * 8] is Marking.VECTOR
+        assert analysis.register_markings[f"r{length - 1}"] is Marking.VECTOR
+
+    def test_bound_scales_with_variables_not_instructions(self):
+        # Many instructions over few registers: the two-register program
+        # converges even though its variable count is far below its
+        # instruction count (the old bound's proxy).
+        lines = ["mov.u32 $a, %tid.y"]
+        lines += ["add.u32 $a, $a, 1" for _ in range(50)]
+        lines.append("exit")
+        analysis = analyze_program(assemble("\n".join(lines)))
+        assert analysis.register_markings["a"] is Marking.VECTOR
 
 class TestAnnotatedListing:
     def test_listing_has_marks(self):

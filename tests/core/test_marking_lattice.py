@@ -1,0 +1,68 @@
+"""Property-style tests for the marking lattice and skip-eligibility.
+
+Satellite checks for the static-analysis layer: the lattice algebra the
+fixpoint iteration relies on, exhaustively over all 4 elements, and the
+paper's invariant that only value-producing instructions are ever
+eligible for the PC skip table — for every registered kernel, under both
+static and launch-promoted markings.
+"""
+
+import itertools
+
+import pytest
+
+from repro import ALL_ABBRS, Marking, analyze_program, build_workload, promote_markings
+
+ALL = list(Marking)
+
+
+class TestMeetIsASemilattice:
+    @pytest.mark.parametrize("a,b", list(itertools.product(ALL, ALL)))
+    def test_commutative(self, a, b):
+        assert Marking.meet(a, b) is Marking.meet(b, a)
+
+    @pytest.mark.parametrize("a,b,c", list(itertools.product(ALL, ALL, ALL)))
+    def test_associative(self, a, b, c):
+        assert Marking.meet(Marking.meet(a, b), c) is Marking.meet(a, Marking.meet(b, c))
+
+    @pytest.mark.parametrize("a", ALL)
+    def test_idempotent(self, a):
+        assert Marking.meet(a, a) is a
+
+    @pytest.mark.parametrize("a,b", list(itertools.product(ALL, ALL)))
+    def test_lower_bound(self, a, b):
+        m = Marking.meet(a, b)
+        assert m <= a and m <= b
+
+    @pytest.mark.parametrize("a,b,c", list(itertools.product(ALL, ALL, ALL)))
+    def test_monotone(self, a, b, c):
+        if b <= c:
+            assert Marking.meet(a, b) <= Marking.meet(a, c)
+
+    def test_top_and_bottom(self):
+        for a in ALL:
+            assert Marking.meet(a, Marking.REDUNDANT) is a   # top is identity
+            assert Marking.meet(a, Marking.VECTOR) is Marking.VECTOR  # bottom absorbs
+
+
+class TestSkippablePCsInvariant:
+    """Stores, branches, barriers, atomics and exits never skip."""
+
+    @pytest.mark.parametrize("abbr", ALL_ABBRS)
+    def test_static_and_promoted(self, abbr):
+        workload = build_workload(abbr, "tiny")
+        analysis = analyze_program(workload.program)
+        by_pc = {inst.pc: inst for inst in workload.program.instructions}
+        promoted = promote_markings(analysis.instruction_markings, workload.launch)
+        for markings in (analysis.instruction_markings, promoted):
+            for pc in analysis.skippable_pcs(markings):
+                inst = by_pc[pc]
+                assert not inst.is_store, f"{abbr}: store at {pc:#x} skippable"
+                assert not inst.is_branch, f"{abbr}: branch at {pc:#x} skippable"
+                assert not inst.is_barrier, f"{abbr}: barrier at {pc:#x} skippable"
+                assert not inst.is_atomic, f"{abbr}: atomic at {pc:#x} skippable"
+                assert not inst.is_exit, f"{abbr}: exit at {pc:#x} skippable"
+                assert (
+                    inst.dest_register() is not None
+                    or inst.dest_predicate() is not None
+                ), f"{abbr}: non-value-producer at {pc:#x} skippable"

@@ -1,0 +1,39 @@
+"""CLI smoke tests for `python -m repro lint` and `python -m repro soundness`."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestLintCommand:
+    def test_lint_all_kernels_clean(self, capsys):
+        assert main(["lint", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_lint_subset_positional(self, capsys):
+        assert main(["lint", "MM,LIB", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "MM" in out and "LIB" in out
+        assert "2 kernel(s)" in out
+
+    def test_lint_strict_flag(self, capsys):
+        assert main(["lint", "MM", "--scale", "tiny", "--strict"]) == 0
+        assert "[strict]" in capsys.readouterr().out
+
+    def test_lint_unknown_app_errors(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["lint", "NOPE"])
+        assert exc.value.code == 2
+
+
+class TestSoundnessCommand:
+    def test_soundness_subset(self, capsys):
+        assert main(["soundness", "--apps", "MM", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "sound" in out
+
+    def test_soundness_unknown_app_errors(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["soundness", "--apps", "NOPE"])
+        assert exc.value.code == 2

@@ -1,0 +1,190 @@
+"""Reaching definitions, def-use chains and liveness."""
+
+from repro import assemble
+from repro.staticlib import (
+    ENTRY_PC,
+    Definition,
+    Liveness,
+    ReachingDefinitions,
+    find_uninitialized_reads,
+)
+
+
+class TestReachingDefinitions:
+    def test_straight_line_kill(self):
+        prog = assemble("""
+            mov.u32 $a, 1
+            mov.u32 $a, 2
+            add.u32 $b, $a, 1
+            exit
+        """)
+        rd = ReachingDefinitions(prog)
+        # Only the second write of $a reaches the read.
+        assert rd.reaching_defs_of(0x10, ("r", "a")) == {Definition(0x08, ("r", "a"))}
+
+    def test_entry_definition_reaches_unwritten_var(self):
+        prog = assemble("add.u32 $b, $a, 1\nexit")
+        rd = ReachingDefinitions(prog)
+        assert Definition(ENTRY_PC, ("r", "a")) in rd.at(0x00)
+
+    def test_guarded_write_does_not_kill(self):
+        prog = assemble("""
+            mov.u32 $a, 1
+            setp.eq.u32 $p0, %tid.x, 0
+        @$p0 mov.u32 $a, 2
+            add.u32 $b, $a, 1
+            exit
+        """)
+        rd = ReachingDefinitions(prog)
+        reaching = rd.reaching_defs_of(0x18, ("r", "a"))
+        # Both the unguarded and the guarded write reach the read.
+        assert reaching == {
+            Definition(0x00, ("r", "a")),
+            Definition(0x10, ("r", "a")),
+        }
+
+    def test_merge_over_diamond(self, diverge_program):
+        rd = ReachingDefinitions(diverge_program)
+        prog = diverge_program
+        store = next(i for i in prog.instructions if i.is_store)
+        defs_of_r = rd.reaching_defs_of(store.pc, ("r", "r"))
+        # $r: the even-arm and odd-arm adds both reach the join; the
+        # unguarded `mov $r, 0` before the branch reaches neither path.
+        pcs = {d.pc for d in defs_of_r}
+        from repro.staticlib.reaching import var_reads
+
+        # The two arm adds both define and read $r; `mov $r, 0` only
+        # defines it (and is killed by both arms).
+        arm_adds = {
+            i.pc for i in prog.instructions
+            if i.dest_register() is not None
+            and i.dest_register().name == "r"
+            and ("r", "r") in var_reads(i)
+        }
+        assert pcs == arm_adds
+
+    def test_loop_back_edge(self, loop_program):
+        rd = ReachingDefinitions(loop_program)
+        prog = loop_program
+        load = next(i for i in prog.instructions if i.is_load)
+        # $a at the loop head: defined both before the loop and by the
+        # in-loop increment, so both definitions reach the load.
+        pcs = {d.pc for d in rd.reaching_defs_of(load.pc, ("r", "a"))}
+        assert len(pcs) == 2
+        assert all(pc != ENTRY_PC for pc in pcs)
+
+    def test_def_use_chains(self):
+        prog = assemble("""
+            mov.u32 $a, 1
+            add.u32 $b, $a, 1
+            add.u32 $c, $a, 2
+            exit
+        """)
+        chains = ReachingDefinitions(prog).def_use_chains()
+        assert set(chains[Definition(0x00, ("r", "a"))]) == {0x08, 0x10}
+
+
+class TestUninitializedReads:
+    def test_flags_never_written_register(self):
+        reads = find_uninitialized_reads(assemble("add.u32 $b, $a, 1\nexit"))
+        assert [(u.pc, u.var) for u in reads] == [(0x00, ("r", "a"))]
+
+    def test_flags_path_sensitive_miss(self):
+        # $v is only written on the taken path; the fallthrough path
+        # reads it unwritten.
+        prog = assemble("""
+            setp.eq.u32 $p0, %ctaid.x, 0
+        @$p0 bra skip
+            mov.u32 $v, 7
+        skip:
+            add.u32 $w, $v, 1
+            exit
+        """)
+        reads = find_uninitialized_reads(prog)
+        assert any(u.var == ("r", "v") for u in reads)
+
+    def test_clean_kernel_has_none(self, figure3_program, loop_program, diverge_program):
+        for prog in (figure3_program, loop_program, diverge_program):
+            assert find_uninitialized_reads(prog) == ()
+
+    def test_guarded_reduction_idiom_is_covered(self):
+        # The Table 1 idiom: load under a guard, consume under the same
+        # guard.  Every lane that reads did write — not flagged.
+        prog = assemble("""
+        .param base
+            setp.lt.u32 $p0, %tid.x, 2
+        @$p0 ld.global.s32 $a, [%param.base]
+        @$p0 add.u32 $b, $a, 1
+            exit
+        """)
+        assert find_uninitialized_reads(prog) == ()
+
+    def test_opposite_polarity_not_covered(self):
+        prog = assemble("""
+            setp.lt.u32 $p0, %tid.x, 2
+        @$p0 mov.u32 $a, 1
+        @!$p0 add.u32 $b, $a, 1
+            exit
+        """)
+        reads = find_uninitialized_reads(prog)
+        assert any(u.var == ("r", "a") for u in reads)
+
+    def test_predicate_redefinition_invalidates_coverage(self):
+        # The guard is recomputed between write and read: the lane masks
+        # may differ, so the read is no longer provably covered.
+        prog = assemble("""
+            setp.lt.u32 $p0, %tid.x, 2
+        @$p0 mov.u32 $a, 1
+            setp.lt.u32 $p0, %tid.x, 3
+        @$p0 add.u32 $b, $a, 1
+            exit
+        """)
+        reads = find_uninitialized_reads(prog)
+        assert any(u.var == ("r", "a") for u in reads)
+
+
+class TestLiveness:
+    def test_straight_line(self):
+        prog = assemble("""
+            mov.u32 $a, 1
+            add.u32 $b, $a, 1
+            add.u32 $c, $b, 1
+            exit
+        """)
+        lv = Liveness(prog)
+        assert ("r", "a") in lv.live_out_at(0x00)
+        assert ("r", "a") in lv.live_in_at(0x08)
+        assert ("r", "a") not in lv.live_out_at(0x08)  # dead after last use
+        assert ("r", "c") not in lv.live_out_at(0x10)  # never read
+
+    def test_live_across_store(self):
+        prog = assemble("""
+        .param out
+            mov.u32 $k, 7
+            st.global.s32 [%param.out], $k
+            add.u32 $z, $k, 1
+            exit
+        """)
+        lv = Liveness(prog)
+        assert ("r", "k") in lv.live_out_at(0x08)
+
+    def test_loop_carried_liveness(self, loop_program):
+        lv = Liveness(loop_program)
+        prog = loop_program
+        load = next(i for i in prog.instructions if i.is_load)
+        # $acc is written before the loop, updated inside, read after:
+        # live around the back edge.
+        assert ("r", "acc") in lv.live_in_at(load.pc)
+
+    def test_guarded_write_does_not_kill_liveness(self):
+        prog = assemble("""
+            mov.u32 $a, 1
+            setp.eq.u32 $p0, %tid.x, 0
+        @$p0 mov.u32 $a, 2
+            add.u32 $b, $a, 1
+            exit
+        """)
+        lv = Liveness(prog)
+        # $a stays live *into* the guarded write: false-guard lanes still
+        # carry the old value to the read.
+        assert ("r", "a") in lv.live_in_at(0x10)

@@ -1,0 +1,198 @@
+"""The kernel linter: every rule exercised by an injected mutant, and
+every registered Table 1 kernel certified clean."""
+
+import pytest
+
+from repro import ALL_ABBRS, assemble, build_workload
+from repro.staticlib import RULES, lint_program, lint_workload
+
+
+def rules_hit(report):
+    return {f.rule for f in report.findings}
+
+
+class TestRuleCatalogue:
+    def test_every_rule_has_severity_and_description(self):
+        for rule, (severity, description) in RULES.items():
+            assert severity in ("error", "warning"), rule
+            assert description
+
+    def test_findings_reference_known_rules(self):
+        report = lint_program(assemble("add.u32 $b, $a, 1\nexit"))
+        for finding in report.findings:
+            assert finding.rule in RULES
+            assert finding.severity == RULES[finding.rule][0]
+
+
+class TestUninitializedReadRule:
+    def test_read_of_unwritten_register(self):
+        report = lint_program(assemble("add.u32 $b, $a, 1\nexit"))
+        assert not report.ok
+        hits = report.by_rule("uninitialized-read")
+        assert len(hits) == 1
+        assert hits[0].pc == 0x00
+        assert "$a" in hits[0].message
+
+    def test_read_of_unwritten_predicate(self):
+        report = lint_program(assemble("@$p9 mov.u32 $a, 1\nexit"))
+        hits = report.by_rule("uninitialized-read")
+        assert hits and "predicate" in hits[0].message
+
+    def test_excerpt_is_figure6_style(self):
+        report = lint_program(assemble("""
+            mov.u32 $x, %ctaid.x
+            add.u32 $b, $a, 1
+            exit
+        """))
+        (finding,) = report.by_rule("uninitialized-read")
+        assert ">>" in finding.excerpt      # pointer at the offending PC
+        assert "DR" in finding.excerpt      # marking column present
+        assert "0x0008" in finding.excerpt
+
+
+class TestInvalidBranchTargetRule:
+    def test_branch_past_end_mutant(self, loop_program):
+        branch = next(i for i in loop_program.instructions if i.is_branch)
+        branch.target_pc = loop_program.end_pc + 0x40  # corrupt in place
+        report = lint_program(loop_program)
+        hits = report.by_rule("invalid-branch-target")
+        assert len(hits) == 1
+        assert hits[0].pc == branch.pc
+        assert hits[0].severity == "error"
+
+    def test_misaligned_target_mutant(self, diverge_program):
+        branch = next(i for i in diverge_program.instructions if i.is_branch)
+        branch.target_pc = branch.target_pc + 3  # between instructions
+        report = lint_program(diverge_program)
+        assert report.by_rule("invalid-branch-target")
+
+
+class TestFallthroughEndRule:
+    def test_predicated_final_exit_mutant(self):
+        # The assembler always appends a trailing exit, so inject the
+        # defect after assembly: guard the final exit, and the lanes
+        # whose guard is false run off the end of the program.
+        prog = assemble("""
+            setp.eq.u32 $p0, %ctaid.x, 0
+            mov.u32 $a, 1
+            exit
+        """)
+        prog.instructions[-1].guard = prog.instructions[0].dest_predicate()
+        report = lint_program(prog)
+        hits = report.by_rule("fallthrough-end")
+        assert len(hits) == 1
+        assert hits[0].pc == prog.instructions[-1].pc
+        assert hits[0].severity == "error"
+
+    def test_exit_on_every_path_is_clean(self, diverge_program):
+        report = lint_program(diverge_program)
+        assert not report.by_rule("fallthrough-end")
+
+
+class TestUnreachableCodeRule:
+    def test_dead_block_after_unconditional_branch(self):
+        report = lint_program(assemble("""
+            bra done
+            mov.u32 $dead, 1
+        done:
+            exit
+        """))
+        hits = report.by_rule("unreachable-code")
+        assert len(hits) == 1
+        assert hits[0].pc == 0x08
+        assert hits[0].severity == "warning"
+        assert report.ok  # warnings alone do not fail a kernel
+
+
+class TestDivergentBarrierRule:
+    def test_barrier_under_lane_varying_branch(self):
+        report = lint_program(assemble("""
+            setp.eq.u32 $p0, %tid.x, 0
+        @$p0 bra skip
+            bar.sync
+        skip:
+            exit
+        """))
+        hits = report.by_rule("divergent-barrier")
+        assert len(hits) == 1
+        assert hits[0].pc == 0x10
+        assert "divergent region" in hits[0].message
+
+    def test_barrier_under_tb_uniform_branch_is_clean(self):
+        # All lanes agree on a blockIdx guard: no divergence, no finding.
+        report = lint_program(assemble("""
+            setp.eq.u32 $p0, %ctaid.x, 0
+        @$p0 bra skip
+            bar.sync
+        skip:
+            exit
+        """))
+        assert not report.by_rule("divergent-barrier")
+
+    def test_barrier_after_reconvergence_is_clean(self):
+        report = lint_program(assemble("""
+            setp.eq.u32 $p0, %tid.x, 0
+        @$p0 bra skip
+            mov.u32 $a, 1
+        skip:
+            bar.sync
+            exit
+        """))
+        assert not report.by_rule("divergent-barrier")
+
+
+STORE_HAZARD_SRC = """
+.kernel hazard
+.param base
+.param out
+    ld.global.s32  $k, [%param.base]
+    mul.u32        $o, %tid.y, 4
+    add.u32        $o, $o, %param.out
+    st.global.s32  [$o], $k
+    st.global.s32  [$o], $k
+    exit
+"""
+
+
+class TestStoreInvalidationRule:
+    def test_vector_store_while_dr_load_live(self):
+        report = lint_program(assemble(STORE_HAZARD_SRC))
+        hits = report.by_rule("store-invalidation")
+        assert hits
+        assert hits[0].severity == "warning"
+        assert hits[0].pc == 0x18  # first store: $k still live after it
+        assert "load invalidation" in hits[0].message
+
+    def test_different_space_is_clean(self):
+        # Shared-memory store cannot alias the global DR load.
+        report = lint_program(assemble("""
+        .param base
+            ld.global.s32  $k, [%param.base]
+            mul.u32        $o, %tid.y, 4
+            st.shared.s32  [$o], $k
+            st.shared.s32  [$o], $k
+            exit
+        """))
+        assert not report.by_rule("store-invalidation")
+
+    def test_no_finding_without_skippable_load(self):
+        # The load address follows tid.y, so the load is vector: nothing
+        # is skipped, nothing to invalidate.
+        report = lint_program(assemble("""
+        .param base
+            mul.u32        $a, %tid.y, 4
+            add.u32        $a, $a, %param.base
+            ld.global.s32  $k, [$a]
+            st.global.s32  [$a], $k
+            st.global.s32  [$a], $k
+            exit
+        """))
+        assert not report.by_rule("store-invalidation")
+
+
+class TestRegisteredKernelsClean:
+    @pytest.mark.parametrize("abbr", ALL_ABBRS)
+    def test_kernel_lints_clean(self, abbr):
+        report = lint_workload(build_workload(abbr, "tiny"))
+        assert report.ok, report.render()
+        assert not report.warnings, report.render()
