@@ -9,6 +9,8 @@ Usage::
     python -m repro run MM --config DARSIE --trace
     python -m repro lint [MM,LIB] [--strict]
     python -m repro soundness --scale tiny
+    python -m repro bench --scale small --out BENCH_timing.json
+    python -m repro bench --scale tiny --baseline benchmarks/BENCH_baseline_tiny.json
 """
 
 from __future__ import annotations
@@ -46,14 +48,15 @@ def run_one(name: str, scale: str, abbrs) -> None:
         kwargs["scale"] = scale
     if takes_abbrs and abbrs:
         kwargs["abbrs"] = abbrs
-    start = time.time()
+    # perf_counter: monotonic, unlike time.time() under clock adjustment
+    start = time.perf_counter()
     result = fn(**kwargs)
     text = result if isinstance(result, str) else result.render()
     print(text)
     stats = getattr(result, "sweep_stats", None)
     if stats is not None:
         print(f"\n{stats.render()}")
-    print(f"\n[{name} regenerated in {time.time() - start:.1f}s]")
+    print(f"\n[{name} regenerated in {time.perf_counter() - start:.1f}s]")
 
 
 def main(argv=None) -> int:
@@ -62,7 +65,8 @@ def main(argv=None) -> int:
         description="Regenerate tables/figures from the DARSIE paper (ASPLOS 2020).",
     )
     parser.add_argument("experiment",
-                        choices=list(EXPERIMENTS) + ["list", "all", "run", "lint", "soundness"])
+                        choices=list(EXPERIMENTS)
+                        + ["list", "all", "run", "lint", "soundness", "bench"])
     parser.add_argument("workload", nargs="?", default=None,
                         help="for `run`: a Table 1 abbreviation, e.g. MM; "
                              "for `lint`: comma-separated abbreviations (default: all)")
@@ -87,6 +91,16 @@ def main(argv=None) -> int:
                         help="delete all cached results before running")
     parser.add_argument("--strict", action="store_true",
                         help="for `lint`: treat warnings as failures too")
+    parser.add_argument("--repeats", type=int, default=2, metavar="N",
+                        help="for `bench`: timing repeats per entry (default: 2)")
+    parser.add_argument("--out", default="BENCH_timing.json", metavar="PATH",
+                        help="for `bench`: where to write the report "
+                             "(default: BENCH_timing.json)")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="for `bench`: baseline report to gate against")
+    parser.add_argument("--tolerance", type=float, default=None, metavar="X",
+                        help="for `bench`: fail when more than X times slower "
+                             "than the baseline (default: 2.0)")
     args = parser.parse_args(argv)
 
     parallel.configure(jobs=args.jobs, use_cache=not args.no_cache)
@@ -102,6 +116,9 @@ def main(argv=None) -> int:
 
     if args.experiment == "soundness":
         return run_soundness(parser, args)
+
+    if args.experiment == "bench":
+        return run_bench_cmd(parser, args)
 
     if args.experiment == "list":
         print("available experiments:")
@@ -161,6 +178,34 @@ def run_soundness(parser, args) -> int:
     report = audit_all(scale=args.scale, abbrs=abbrs)
     print(report.render())
     return 0 if report.ok else 1
+
+
+def run_bench_cmd(parser, args) -> int:
+    """`python -m repro bench [--scale S] [--apps ...] [--repeats N]
+    [--out PATH] [--baseline PATH] [--tolerance X]`."""
+    from repro.harness import bench
+
+    abbrs = _resolve_abbrs(parser, args)
+    report = bench.run_bench(
+        scale=args.scale,
+        abbrs=abbrs,
+        repeats=args.repeats,
+        progress=lambda e: print(
+            f"  {e.abbr}/{e.config}: {e.wall_s_min:.3f}s ({e.cycles} cycles)",
+            flush=True,
+        ),
+    )
+    print()
+    print(report.render())
+    report.write(args.out)
+    print(f"\n[bench report written to {args.out}]")
+    if args.baseline is None:
+        return 0
+    baseline = bench.BenchReport.load(args.baseline)
+    tolerance = args.tolerance if args.tolerance is not None else bench.DEFAULT_TOLERANCE
+    outcome = bench.compare(report, baseline, tolerance=tolerance)
+    print(outcome.render(tolerance))
+    return 0 if outcome.ok else 1
 
 
 def run_workload(parser, args) -> int:

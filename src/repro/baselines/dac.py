@@ -101,7 +101,8 @@ class DacIdealFrontend(Frontend):
                     if kind is None:
                         break
                     occ_state[key] = occ + 1
-                    wrt.ibuffer.append(IBufferEntry(inst=inst, free=True))
+                    wrt.push_entry(IBufferEntry(inst=inst, free=True))
+                    self.sm.note_activity()
                     self.sm.stats.skipped_by_class[kind] += 1
                     wrt.fetch_pc = pc + INSTRUCTION_BYTES
 

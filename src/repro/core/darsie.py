@@ -85,13 +85,7 @@ class _TBState:
 
 
 def _dest_key(inst: Instruction) -> Optional[tuple]:
-    dreg = inst.dest_register()
-    if dreg is not None:
-        return ("r", dreg.name)
-    dpred = inst.dest_predicate()
-    if dpred is not None:
-        return ("p", dpred.name)
-    return None
+    return inst.dest_key
 
 
 class DarsieFrontend(Frontend):
@@ -140,7 +134,7 @@ class DarsieFrontend(Frontend):
         return tb_rt.frontend_state
 
     def _eligible(self, wrt) -> bool:
-        st = self._st(wrt.tb_rt)
+        st = wrt.tb_rt.frontend_state
         return (
             not wrt.exited
             and st.majority.is_on_path(wrt.warp.warp_id)
@@ -152,13 +146,10 @@ class DarsieFrontend(Frontend):
             return False
         if pc in wrt.bypass_pcs:
             return False
-        inst = self.program.at(pc)
-        if (
-            inst.is_load
-            and inst.mem.space is MemSpace.GLOBAL
-            and self._global_loads_disabled
-        ):
-            return False
+        if self._global_loads_disabled:
+            inst = self.program.at(pc)
+            if inst.is_load and inst.mem.space is MemSpace.GLOBAL:
+                return False
         return self._eligible(wrt)
 
     def _bypass_pending(self, tb_rt, pc: int) -> bool:
@@ -167,9 +158,10 @@ class DarsieFrontend(Frontend):
     # -- the skip engine (runs in parallel with the fetch scheduler) ----------
 
     def fetch_cycle(self, cycle: int) -> None:
-        self._leader_pending_fetch = {
-            k: pc for k, pc in self._leader_pending_fetch.items()
-        }
+        skip_pcs = self.skip_pcs
+        if not skip_pcs:
+            return  # fixed at bind time; nothing ever skips or blocks
+        pending = self._leader_pending_fetch
         candidates: List[Tuple[tuple, tuple]] = []
         warp_of: Dict[tuple, object] = {}
         for tb_rt in self.sm.tbs:
@@ -177,13 +169,18 @@ class DarsieFrontend(Frontend):
             for wrt in tb_rt.warps:
                 if wrt.exited:
                     continue
-                wid = (tb_rt.seq, wrt.warp.warp_id)
                 pc = wrt.fetch_pc
-                if not wrt.fetch_ready() or not self._skippable_here(wrt, pc):
+                if (
+                    pc not in skip_pcs
+                    or not wrt.fetch_ready()
+                    or not self._skippable_here(wrt, pc)
+                ):
                     wrt.skip_blocked = False
-                    self._leader_pending_fetch.pop(wid, None)
+                    if pending:
+                        pending.pop((tb_rt.seq, wrt.warp.warp_id), None)
                     continue
-                if self._leader_pending_fetch.get(wid) == pc:
+                wid = (tb_rt.seq, wrt.warp.warp_id)
+                if pending.get(wid) == pc:
                     continue  # already elected; waiting for the fetch stage
                 state = self._classify(cycle, tb_rt, st, wrt, pc)
                 if state == "skip":
@@ -214,7 +211,8 @@ class DarsieFrontend(Frontend):
     def _classify(self, cycle, tb_rt, st: _TBState, wrt, pc: int) -> str:
         """Decide what a majority-path warp at skippable ``pc`` does."""
         warp_id = wrt.warp.warp_id
-        key = _dest_key(self.program.at(pc))
+        inst = self.program.at(pc)
+        key = inst.dest_key
         assert key is not None
         expected = st.rename.count(warp_id, key) + 1
         entry = st.table.lookup(pc, now=cycle)
@@ -224,7 +222,6 @@ class DarsieFrontend(Frontend):
                 # warps must still execute it privately; hold off new
                 # leaders until they do (instances serialize).
                 return "wait"
-            inst = self.program.at(pc)
             sync_required = (not st.rename.can_allocate()) or self.cfg.sync_on_write
             if st.table.full:
                 victim = st.table.eviction_victim()
@@ -274,7 +271,7 @@ class DarsieFrontend(Frontend):
 
     def _maybe_release_sync(self, tb_rt, st: _TBState, entry: SkipTableEntry) -> None:
         members = set(st.majority.members())
-        key = _dest_key(self.program.at(entry.pc))
+        key = self.program.at(entry.pc).dest_key
         # Warps already past this instance never arrive here again; only
         # the ones still needing it must gather.
         required = {m for m in members if st.rename.count(m, key) < entry.instance}
@@ -288,6 +285,7 @@ class DarsieFrontend(Frontend):
         if st.rename.can_allocate() or self.cfg.sync_on_write:
             entry.sync_required = False
             entry.warps_waiting.clear()
+            self.sm.note_activity()
             for w in tb_rt.warps:
                 if w.warp.warp_id in members:
                     w.skip_blocked = False
@@ -298,7 +296,8 @@ class DarsieFrontend(Frontend):
         """Remove an entry before all majority warps consumed it; the
         remaining warps execute the instruction privately (one-shot)."""
         st.table.remove(entry.pc)
-        key = _dest_key(self.program.at(entry.pc))
+        self.sm.note_activity()
+        key = self.program.at(entry.pc).dest_key
         members = set(st.majority.members())
         for w in tb_rt.warps:
             wid = w.warp.warp_id
@@ -313,7 +312,7 @@ class DarsieFrontend(Frontend):
             wrt.skip_blocked = True
             return
         inst = self.program.at(pc)
-        key = _dest_key(inst)
+        key = inst.dest_key
         assert key is not None
         vv = st.rename.follower_skip(wrt.warp.warp_id, key)
         stats = self.sm.stats
@@ -334,13 +333,14 @@ class DarsieFrontend(Frontend):
         # Architectural PC must advance past the skipped instruction *in
         # program order*: enqueue a zero-cost skip token that bumps the
         # PC when it reaches the head of the I-buffer.
-        wrt.ibuffer.append(IBufferEntry(inst=inst, skip_token=True))
+        wrt.push_entry(IBufferEntry(inst=inst, skip_token=True))
+        self.sm.note_activity()
         self._maybe_retire(st, entry)
 
     def _maybe_retire(self, st: _TBState, entry: SkipTableEntry) -> None:
         if not entry.leader_wb:
             return
-        key = _dest_key(self.program.at(entry.pc))
+        key = self.program.at(entry.pc).dest_key
         if all(
             st.rename.count(wid, key) >= entry.instance
             for wid in st.majority.members()
@@ -367,7 +367,7 @@ class DarsieFrontend(Frontend):
 
         overrides = self._capture_sources(st, wrt, inst)
 
-        key = _dest_key(inst)
+        key = inst.dest_key
         if key is not None:
             pending = st.pending_leader.setdefault(warp_id, {})
             if is_leader:
@@ -421,7 +421,7 @@ class DarsieFrontend(Frontend):
             return
         st = self._st(wrt.tb_rt)
         warp_id = wrt.warp.warp_id
-        key = _dest_key(inst)
+        key = inst.dest_key
         pending = st.pending_leader.get(warp_id, {})
         version = None
         if key is not None and pending.get(key):
@@ -494,6 +494,7 @@ class DarsieFrontend(Frontend):
         # Claim the wait record before processing: _leave_path re-enters
         # this function through _recheck.
         del st.branch_wait[pc]
+        self.sm.note_activity()
         # Majority vote among the warps that are still SIMD-convergent.
         votes: Dict[int, int] = {}
         for wid in members:

@@ -195,7 +195,12 @@ def _speedup_sweep(
         members = [a for a in group if a in per]
         if not members:
             return {}
-        return {c: geomean([per[a][c] for a in members]) for c in configs}
+        # Speedups are ratios of positive cycle counts, but clamp anyway:
+        # geomean raises on non-positive input, and a degenerate run
+        # (zero-cycle result) should skew the mean, not kill the figure.
+        return {
+            c: geomean([max(1e-9, per[a][c]) for a in members]) for c in configs
+        }
     return SpeedupResult(
         configs=tuple(configs),
         per_workload=per,

@@ -34,6 +34,7 @@ import pickle
 import re
 import time
 import traceback
+import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, field
 from multiprocessing import get_all_start_methods, get_context
@@ -117,17 +118,22 @@ class SweepStats:
     #: timing/functional simulations actually executed (cache misses)
     simulated: int = 0
     failures: int = 0
+    #: cache entries that could not be written (read-only / full disk)
+    cache_write_failures: int = 0
     wall_time_s: float = 0.0
     jobs: int = 1
     #: (spec label, seconds, "hit" | "sim" | "fail") in spec order
     per_run: List[Tuple[str, float, str]] = field(default_factory=list)
 
     def render(self) -> str:
-        return (
+        text = (
             f"[sweep] {self.runs} runs in {self.wall_time_s:.1f}s"
             f" (jobs={self.jobs}): {self.simulated} simulated,"
             f" {self.cache_hits} cache hits, {self.failures} failures"
         )
+        if self.cache_write_failures:
+            text += f", {self.cache_write_failures} cache writes failed"
+        return text
 
     def detail(self) -> str:
         """Per-run wall times, slowest first."""
@@ -292,24 +298,68 @@ def _cache_load(path: str, key: str):
         return None
 
 
-def _cache_store(path: str, key: str, result) -> None:
+#: temp-file suffix pattern used by :func:`_cache_store`'s atomic writes
+_TMP_RE = re.compile(r"\.pkl\.tmp\.\d+$")
+
+#: tmp files older than this are considered leaked by a crashed sweep
+STALE_TMP_AGE_S = 3600.0
+
+
+def _cache_store(path: str, key: str, result) -> bool:
+    """Write one cache entry atomically; returns False on failure.
+
+    Caching is best-effort — the run itself already succeeded — but
+    failures are reported to the caller so a read-only or full cache
+    directory does not silently degrade every sweep to 0% hit rate.
+    """
+    tmp = f"{path}.tmp.{os.getpid()}"
     try:
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        tmp = f"{path}.tmp.{os.getpid()}"
         with open(tmp, "wb") as fh:
             pickle.dump({"key": key, "result": result}, fh)
         os.replace(tmp, path)  # atomic: concurrent sweeps never see partial files
+        return True
     except OSError:
-        pass  # caching is best-effort; the run itself already succeeded
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        return False
+
+
+def reap_stale_tmp(cache_dir: Optional[str] = None, max_age_s: float = STALE_TMP_AGE_S) -> int:
+    """Remove ``*.pkl.tmp.<pid>`` files leaked by crashed sweeps.
+
+    A live sweep's tmp file exists only for the instant between write
+    and rename, so anything older than ``max_age_s`` is garbage.
+    Returns the number of files removed.
+    """
+    directory = resolve_cache_dir(cache_dir)
+    removed = 0
+    if not os.path.isdir(directory):
+        return 0
+    now = time.time()
+    for name in os.listdir(directory):
+        if not _TMP_RE.search(name):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            if now - os.path.getmtime(path) >= max_age_s:
+                os.unlink(path)
+                removed += 1
+        except OSError:
+            pass
+    return removed
 
 
 def clear_cache(cache_dir: Optional[str] = None) -> int:
-    """Delete every cache entry; returns the number removed."""
+    """Delete every cache entry, including leaked ``*.tmp.<pid>`` files
+    from crashed sweeps; returns the number removed."""
     directory = resolve_cache_dir(cache_dir)
     removed = 0
     if os.path.isdir(directory):
         for name in os.listdir(directory):
-            if name.endswith(".pkl"):
+            if name.endswith(".pkl") or _TMP_RE.search(name):
                 try:
                     os.unlink(os.path.join(directory, name))
                     removed += 1
@@ -433,11 +483,22 @@ def run_specs(
         for i, spec, _, _ in pending:
             outcomes[i] = _outcome_from_payload(spec, _worker(spec))
 
+    write_failures = 0
     if caching:
+        reap_stale_tmp(directory)
         for i, _spec, key, path in pending:
             outcome = outcomes[i]
             if outcome is not None and outcome.ok:
-                _cache_store(path, key, outcome.result)
+                if not _cache_store(path, key, outcome.result):
+                    write_failures += 1
+        if write_failures:
+            warnings.warn(
+                f"result cache in {directory!r} is not writable: "
+                f"{write_failures} entr{'y' if write_failures == 1 else 'ies'} "
+                "could not be stored (future sweeps will re-simulate)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     final: List[RunOutcome] = [o for o in outcomes if o is not None]
     stats = SweepStats(
@@ -445,6 +506,7 @@ def run_specs(
         cache_hits=sum(1 for o in final if o.cache_hit),
         simulated=sum(1 for o in final if o.ok and not o.cache_hit),
         failures=sum(1 for o in final if not o.ok),
+        cache_write_failures=write_failures,
         wall_time_s=time.perf_counter() - start,
         jobs=jobs if parallel_ok else 1,
         per_run=[

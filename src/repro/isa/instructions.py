@@ -15,8 +15,9 @@ branches, ``bar.sync`` and ``exit``.
 from __future__ import annotations
 
 import enum
+import zlib
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.isa.operands import MemRef, Operand, Predicate, Register
 
@@ -169,6 +170,16 @@ def source_arity(opcode: Opcode) -> int:
     return _ARITY[opcode]
 
 
+def stable_bank(key: Tuple[str, str], banks: int) -> int:
+    """Map a scoreboard key to a register-file bank, deterministically.
+
+    The builtin ``hash`` is randomized per process for strings, which
+    made bank-conflict counters differ from run to run; CRC32 gives the
+    same assignment in every interpreter.
+    """
+    return zlib.crc32(("%s:%s" % key).encode()) % banks
+
+
 @dataclass
 class Instruction:
     """One decoded 64-bit instruction.
@@ -211,37 +222,61 @@ class Instruction:
     mark: object = None
     index: int = field(default=-1)
 
-    @property
-    def is_branch(self) -> bool:
-        return self.opcode in BRANCH_OPS
+    def __post_init__(self) -> None:
+        # Decode products are derived only from the opcode and operands,
+        # neither of which is mutated after construction (the assembler
+        # only back-patches ``index`` and ``target_pc``), so they are
+        # computed once here instead of per simulated cycle.
+        op = self.opcode
+        self.is_branch = op in BRANCH_OPS
+        self.is_load = op in LOAD_OPS
+        self.is_store = op in STORE_OPS
+        self.is_memory = op in MEMORY_OPS
+        self.is_barrier = op is Opcode.BAR
+        self.is_exit = op is Opcode.EXIT
+        self.is_atomic = op is Opcode.ATOM
+        self.uses_sfu = op in SFU_OPS
+        self.src_regs = self._compute_source_registers()
+        self.src_preds = self._compute_source_predicates()
+        self.dst_reg = self.dst if isinstance(self.dst, Register) else None
+        self.dst_pred = self.dst if isinstance(self.dst, Predicate) else None
+        srcs = tuple(("r", r.name) for r in self.src_regs) + tuple(
+            ("p", p.name) for p in self.src_preds
+        )
+        dests: Tuple[Tuple[str, str], ...] = ()
+        if self.dst_reg is not None:
+            dests += (("r", self.dst_reg.name),)
+        if self.dst_pred is not None:
+            dests += (("p", self.dst_pred.name),)
+        self.sb_srcs = srcs
+        self.sb_dests = dests
+        # Primary destination key (register first, matching the DARSIE
+        # rename unit's view of "the" written operand).
+        self.dest_key: Optional[Tuple[str, str]] = dests[0] if dests else None
+        self.hazard_keys = frozenset(srcs) | frozenset(dests)
+        # Operand-collector reads per issue: register AND predicate
+        # sources (matches the scoreboard source-key count).
+        self.rf_read_count = len(srcs)
+        # Lazily filled per rf_banks width; see :meth:`bank_info`.
+        self._bank_info: Dict[int, Tuple[int, Tuple[int, ...]]] = {}
 
-    @property
-    def is_load(self) -> bool:
-        return self.opcode in LOAD_OPS
+    def bank_info(self, rf_banks: int) -> Tuple[int, Tuple[int, ...]]:
+        """Register-file bank picture for a ``rf_banks``-wide RF.
 
-    @property
-    def is_store(self) -> bool:
-        return self.opcode in STORE_OPS
-
-    @property
-    def is_memory(self) -> bool:
-        return self.opcode in MEMORY_OPS
-
-    @property
-    def is_barrier(self) -> bool:
-        return self.opcode is Opcode.BAR
-
-    @property
-    def is_exit(self) -> bool:
-        return self.opcode is Opcode.EXIT
-
-    @property
-    def is_atomic(self) -> bool:
-        return self.opcode is Opcode.ATOM
-
-    @property
-    def uses_sfu(self) -> bool:
-        return self.opcode in SFU_OPS
+        Returns ``(conflicts, banks)`` where ``conflicts`` is the number
+        of same-cycle operand-collector collisions among this
+        instruction's register sources and ``banks`` is the bank index of
+        each source operand.  Bank selection uses a stable CRC32-based
+        hash so results are reproducible across processes (builtin
+        ``hash`` is salted per interpreter for strings).
+        """
+        cached = self._bank_info.get(rf_banks)
+        if cached is None:
+            banks = tuple(stable_bank(k, rf_banks) for k in self.sb_srcs)
+            conflicts = len(banks) - len(set(banks))
+            cached = (conflicts, banks)
+            self._bank_info[rf_banks] = cached
+        return cached
 
     def source_registers(self) -> Tuple[Register, ...]:
         """All general registers read by this instruction.
@@ -250,6 +285,9 @@ class Instruction:
         of a store, and the guard predicate is *not* included (predicates
         live in a separate space; see :meth:`source_predicates`).
         """
+        return self.src_regs
+
+    def _compute_source_registers(self) -> Tuple[Register, ...]:
         regs = []
         for src in self.srcs:
             if isinstance(src, Register):
@@ -259,16 +297,19 @@ class Instruction:
         return tuple(regs)
 
     def source_predicates(self) -> Tuple[Predicate, ...]:
+        return self.src_preds
+
+    def _compute_source_predicates(self) -> Tuple[Predicate, ...]:
         preds = [s for s in self.srcs if isinstance(s, Predicate)]
         if self.guard is not None:
             preds.append(self.guard)
         return tuple(preds)
 
     def dest_register(self) -> Optional[Register]:
-        return self.dst if isinstance(self.dst, Register) else None
+        return self.dst_reg
 
     def dest_predicate(self) -> Optional[Predicate]:
-        return self.dst if isinstance(self.dst, Predicate) else None
+        return self.dst_pred
 
     def __str__(self) -> str:
         if self.text:

@@ -285,6 +285,7 @@ class FunctionalEngine:
         if len(warp.stack) > 1:
             # Divergent lanes finished; resume the other paths.
             warp.stack.pop()
+            warp.invalidate_divergence()
         else:
             warp.retire()
             result.retired = True

@@ -51,6 +51,9 @@ class WarpState:
     at_barrier: bool = False
     #: lanes that exist (TB size may not be a warp multiple)
     hw_mask: np.ndarray = field(default_factory=lambda: np.ones(WARP_SIZE, dtype=bool))
+    #: memoized :attr:`has_simd_divergence` as ``(key, value)``;
+    #: invalidated on stack change
+    _simd_div: Optional[tuple] = field(default=None, repr=False, compare=False)
 
     @classmethod
     def create(cls, warp_id: int, tb_index: int, hw_mask: np.ndarray, start_pc: int = 0):
@@ -87,8 +90,27 @@ class WarpState:
 
     @property
     def has_simd_divergence(self) -> bool:
-        """True when some hardware lanes are inactive (Section 4.5)."""
-        return bool(np.any(self.hw_mask & ~self.top.active_mask)) or len(self.stack) > 1
+        """True when some hardware lanes are inactive (Section 4.5).
+
+        Active masks are never mutated in place — entries are pushed,
+        popped, or have their mask rebound — so the answer is cached
+        between stack changes instead of re-reducing the mask every
+        cycle.  The cache key (stack depth, top-mask identity) makes a
+        direct rebinding of ``top.active_mask`` miss on its own; the
+        in-simulator mutation paths also invalidate explicitly.
+        """
+        top = self.stack[-1]
+        key = (len(self.stack), id(top.active_mask))
+        cached = self._simd_div
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        value = len(self.stack) > 1 or bool(np.any(self.hw_mask & ~top.active_mask))
+        self._simd_div = (key, value)
+        return value
+
+    def invalidate_divergence(self) -> None:
+        """Drop the memoized divergence answer after a stack mutation."""
+        self._simd_div = None
 
     def maybe_reconverge(self) -> bool:
         """Pop stack entries whose reconvergence PC has been reached."""
@@ -96,6 +118,8 @@ class WarpState:
         while len(self.stack) > 1 and self.top.reconv_pc is not None and self.pc == self.top.reconv_pc:
             self.stack.pop()
             popped = True
+        if popped:
+            self._simd_div = None
         return popped
 
     def diverge(
@@ -112,6 +136,7 @@ class WarpState:
         (matching GPGPU-Sim's convention — the order is arbitrary but
         must be deterministic).
         """
+        self._simd_div = None
         current = self.top
         not_taken_mask = current.active_mask & ~taken_mask
         if reconv_pc is None:

@@ -57,6 +57,11 @@ class GPUConfig:
     dram_latency: int = 320
     dram_requests_per_cycle: int = 2   # per-SM bandwidth cap on in-flight issues
     max_outstanding_mem: int = 64
+    # -- simulator (not microarchitecture) ---------------------------------
+    #: jump over provably idle cycles (no effect on simulated stats; see
+    #: the bit-identical contract in repro.timing.core).  Disable to
+    #: force cycle-by-cycle stepping, e.g. when validating the skipper.
+    event_skip: bool = True
     # -- safety ---------------------------------------------------------------
     max_cycles: int = 5_000_000
 

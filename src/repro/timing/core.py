@@ -18,6 +18,16 @@ Pipeline per Section 3 / Figure 4:
 Operand reads model register-file bank conflicts, including the extra
 conflicts DARSIE causes by pointing follower warps at the renamed
 register space (Section 6.1).
+
+Performance contract: the hot loops below (issue, drain, fetch) consume
+decode products memoized on :class:`~repro.isa.instructions.Instruction`
+at assembly time and maintain I-buffer occupancy incrementally; every
+such optimization must leave :class:`~repro.timing.stats.SimStats`
+bit-identical to the straightforward per-cycle recomputation.
+``tick`` additionally reports an *activity count* so the GPU loop can
+jump over stretches of cycles where every warp is provably blocked on a
+known-future event (see :meth:`SMCore.wake_cycle` /
+:meth:`SMCore.advance_idle`).
 """
 
 from __future__ import annotations
@@ -56,13 +66,20 @@ class IBufferEntry:
 class WarpRuntime:
     """Per-warp pipeline state wrapped around the architectural warp."""
 
-    def __init__(self, warp, tb_rt: "TBRuntime", scheduler_id: int, age: int):
+    def __init__(self, warp, tb_rt: "TBRuntime", scheduler_id: int, age: int, core=None):
         self.warp = warp
         self.tb_rt = tb_rt
         self.scheduler_id = scheduler_id
         self.age = age
+        self.core = core
         self.fetch_pc: int = warp.pc
         self.ibuffer: Deque[IBufferEntry] = deque()
+        #: I-buffer occupancy counted against capacity (maintained
+        #: incrementally; free entries and skip tokens were never fetched
+        #: and occupy no real slots)
+        self._buffered: int = 0
+        #: zero-cost entries (free / skip tokens) currently queued
+        self._zero_cost: int = 0
         #: fetch stalled after a control instruction until it executes
         self.cf_stalled: bool = False
         #: blocked at a TB-wide branch barrier (DARSIE / SILICON-SYNC)
@@ -80,13 +97,39 @@ class WarpRuntime:
         return self.warp.exited
 
     def buffered(self) -> int:
-        """I-buffer occupancy counted against capacity (free entries and
-        skip tokens were never fetched and occupy no real slots)."""
-        return sum(1 for e in self.ibuffer if not e.free and not e.skip_token)
+        return self._buffered
+
+    def push_entry(self, entry: IBufferEntry) -> None:
+        """Append ``entry`` keeping the occupancy counters in sync (the
+        only way frontends may enqueue free entries / skip tokens)."""
+        self.ibuffer.append(entry)
+        if entry.free or entry.skip_token:
+            self._zero_cost += 1
+            if self.core is not None:
+                self.core._zero_cost_total += 1
+        else:
+            self._buffered += 1
+
+    def pop_head(self) -> IBufferEntry:
+        entry = self.ibuffer.popleft()
+        if entry.free or entry.skip_token:
+            self._zero_cost -= 1
+            if self.core is not None:
+                self.core._zero_cost_total -= 1
+        else:
+            self._buffered -= 1
+        return entry
+
+    def clear_ibuffer(self) -> None:
+        if self._zero_cost and self.core is not None:
+            self.core._zero_cost_total -= self._zero_cost
+        self.ibuffer.clear()
+        self._buffered = 0
+        self._zero_cost = 0
 
     def fetch_ready(self) -> bool:
         return not (
-            self.exited
+            self.warp.exited
             or self.cf_stalled
             or self.branch_sync_blocked
             or self.warp.at_barrier
@@ -113,17 +156,12 @@ class TBRuntime:
 
 
 def _scoreboard_keys(inst: Instruction) -> Tuple[List[Tuple[str, str]], List[Tuple[str, str]]]:
-    """(source keys, dest keys) for hazard checking."""
-    srcs = [("r", r.name) for r in inst.source_registers()]
-    srcs += [("p", p.name) for p in inst.source_predicates()]
-    dests = []
-    dreg = inst.dest_register()
-    if dreg is not None:
-        dests.append(("r", dreg.name))
-    dpred = inst.dest_predicate()
-    if dpred is not None:
-        dests.append(("p", dpred.name))
-    return srcs, dests
+    """(source keys, dest keys) for hazard checking.
+
+    Thin compatibility wrapper over the tuples memoized on the
+    instruction at construction time.
+    """
+    return list(inst.sb_srcs), list(inst.sb_dests)
 
 
 class SMCore:
@@ -156,6 +194,14 @@ class SMCore:
             s: None for s in range(config.num_schedulers)
         }
         self._issue_rr: Dict[int, int] = {s: 0 for s in range(config.num_schedulers)}
+        #: per-scheduler warp lists in age order (mirrors ``self.warps``)
+        self._sched_warps: List[List[WarpRuntime]] = [
+            [] for _ in range(config.num_schedulers)
+        ]
+        #: zero-cost I-buffer entries across all warps (drain early-out)
+        self._zero_cost_total = 0
+        #: state changes observed during the current tick
+        self._activity = 0
         self._tb_seq = 0
         self._warp_age = 0
         self.completed_tbs: List[TBRuntime] = []
@@ -177,10 +223,11 @@ class SMCore:
         self._tb_seq += 1
         for warp in tb.warps:
             scheduler = self._warp_age % self.config.num_schedulers
-            wrt = WarpRuntime(warp, tb_rt, scheduler, self._warp_age)
+            wrt = WarpRuntime(warp, tb_rt, scheduler, self._warp_age, core=self)
             self._warp_age += 1
             tb_rt.warps.append(wrt)
             self.warps.append(wrt)
+            self._sched_warps[scheduler].append(wrt)
         self.tbs.append(tb_rt)
         self.frontend.on_tb_launch(tb_rt)
         return tb_rt
@@ -191,47 +238,93 @@ class SMCore:
 
     # -- main loop ------------------------------------------------------------
 
-    def tick(self, cycle: int) -> None:
+    def tick(self, cycle: int) -> int:
+        """Advance one cycle; returns the number of state changes seen
+        (0 means this cycle was provably idle and the next cycle would
+        repeat it exactly — the basis for event-driven skipping)."""
         self.cycle = cycle
+        self._activity = 0
         self._writeback(cycle)
         self._drain_free(cycle)
         self._issue(cycle)
         self.frontend.fetch_cycle(cycle)
         self._fetch(cycle)
         self._account_waits()
+        return self._activity
+
+    def note_activity(self) -> None:
+        """Frontends call this when they mutate pipeline state outside
+        the core's own counting (zero-cost pushes, sync releases)."""
+        self._activity += 1
+
+    def wake_cycle(self) -> Optional[int]:
+        """Earliest future cycle at which anything can happen on this SM
+        while it is otherwise idle, or None if no such event is known."""
+        wake: Optional[int] = self._inflight[0][0] if self._inflight else None
+        fw = self.frontend.next_wake(self.cycle)
+        if fw is not None and (wake is None or fw < wake):
+            wake = fw
+        return wake
+
+    def advance_idle(self, delta: int) -> None:
+        """Account for ``delta`` skipped idle cycles.
+
+        An idle cycle still (a) accrues one ``sync_wait_cycles`` per
+        blocked live warp and (b) advances each LRR scheduler that had
+        issue candidates; both are replayed here in closed form.
+        """
+        blocked = 0
+        for w in self.warps:
+            if (w.skip_blocked or w.branch_sync_blocked) and not w.warp.exited:
+                blocked += 1
+        if blocked:
+            self.stats.sync_wait_cycles += blocked * delta
+        if self.config.scheduler_policy == "lrr":
+            for sched, swarps in enumerate(self._sched_warps):
+                if any(not w.warp.exited and w.ibuffer for w in swarps):
+                    self._issue_rr[sched] += delta
 
     def _account_waits(self) -> None:
+        if self.pipeline_trace is None:
+            blocked = 0
+            for w in self.warps:
+                if (w.skip_blocked or w.branch_sync_blocked) and not w.warp.exited:
+                    blocked += 1
+            if blocked:
+                self.stats.sync_wait_cycles += blocked
+            return
         for w in self.warps:
             if not w.exited and (w.skip_blocked or w.branch_sync_blocked):
                 self.stats.sync_wait_cycles += 1
-                if self.pipeline_trace is not None:
-                    self.pipeline_trace.record(
-                        self.cycle, self.sm_id, w.tb_rt.tb.tb_index,
-                        w.warp.warp_id, "B", w.fetch_pc,
-                    )
+                self.pipeline_trace.record(
+                    self.cycle, self.sm_id, w.tb_rt.tb.tb_index,
+                    w.warp.warp_id, "B", w.fetch_pc,
+                )
 
     # -- writeback ---------------------------------------------------------------
 
     def _writeback(self, cycle: int) -> None:
-        while self._inflight and self._inflight[0][0] <= cycle:
-            _ready, _seq, wrt, inst, meta = heapq.heappop(self._inflight)
+        inflight = self._inflight
+        while inflight and inflight[0][0] <= cycle:
+            _ready, _seq, wrt, inst, meta = heapq.heappop(inflight)
+            self._activity += 1
             wrt.inflight -= 1
             if self.pipeline_trace is not None:
                 self.pipeline_trace.record(
                     cycle, self.sm_id, wrt.tb_rt.tb.tb_index, wrt.warp.warp_id, "W", inst.pc
                 )
-            for key in meta.get("dests", ()):
+            dests = meta.get("dests", ())
+            for key in dests:
                 wrt.scoreboard.discard(key)
-            if meta.get("dests"):
-                self.stats.count(EnergyEvent.RF_WRITE)
+            if dests:
+                self.stats.energy_events[EnergyEvent.RF_WRITE] += 1
             self.frontend.on_writeback(wrt, inst, meta)
 
     # -- issue ------------------------------------------------------------------
 
     def _hazard(self, wrt: WarpRuntime, inst: Instruction) -> bool:
-        srcs, dests = _scoreboard_keys(inst)
         sb = wrt.scoreboard
-        return any(k in sb for k in srcs) or any(k in sb for k in dests)
+        return bool(sb) and not sb.isdisjoint(inst.hazard_keys)
 
     def _drain_free(self, cycle: int) -> None:
         """Zero-cost, in-order drain of eliminated instructions.
@@ -241,11 +334,17 @@ class SMCore:
         renaming).  DAC-IDEAL free entries execute functionally — the
         idealized affine stream — without pipeline cost.
         """
+        if self._zero_cost_total == 0:
+            return
         for wrt in self.warps:
-            while wrt.ibuffer and (wrt.ibuffer[0].free or wrt.ibuffer[0].skip_token):
-                entry = wrt.ibuffer[0]
+            if wrt._zero_cost == 0:
+                continue
+            ibuf = wrt.ibuffer
+            while ibuf and (ibuf[0].free or ibuf[0].skip_token):
+                entry = ibuf[0]
                 if entry.skip_token:
-                    wrt.ibuffer.popleft()
+                    wrt.pop_head()
+                    self._activity += 1
                     assert wrt.warp.pc == entry.inst.pc, (
                         f"skip token out of order: arch pc {wrt.warp.pc:#x}, "
                         f"token pc {entry.inst.pc:#x}"
@@ -255,45 +354,60 @@ class SMCore:
                     continue
                 if self._hazard(wrt, entry.inst):
                     break
-                wrt.ibuffer.popleft()
+                wrt.pop_head()
+                self._activity += 1
                 self.engine.execute_instruction(wrt.tb_rt.tb, wrt.warp, entry.inst)
                 self.stats.instructions_skipped += 1
 
     def _issue(self, cycle: int) -> None:
-        by_scheduler: Dict[int, List[WarpRuntime]] = {
-            s: [] for s in range(self.config.num_schedulers)
-        }
-        for wrt in self.warps:
-            if not wrt.exited and wrt.ibuffer:
-                by_scheduler[wrt.scheduler_id].append(wrt)
-        for sched, candidates in by_scheduler.items():
+        if self.config.scheduler_policy == "lrr":
+            self._issue_lrr(cycle)
+            return
+        # Greedy-then-oldest (Table 2's GTO).  ``_sched_warps`` is kept
+        # in age order, so trying the greedy warp first and then the
+        # rest in list order reproduces the sorted-candidates walk.
+        for sched, swarps in enumerate(self._sched_warps):
+            greedy = self._greedy[sched]
+            greedy_is_cand = (
+                greedy is not None and not greedy.warp.exited and bool(greedy.ibuffer)
+            )
+            issued_from: Optional[WarpRuntime] = None
+            had_candidate = greedy_is_cand
+            if greedy_is_cand and self._issue_from_warp(cycle, greedy):
+                issued_from = greedy
+            if issued_from is None:
+                for wrt in swarps:
+                    if wrt is greedy or wrt.warp.exited or not wrt.ibuffer:
+                        continue
+                    had_candidate = True
+                    if self._issue_from_warp(cycle, wrt):
+                        issued_from = wrt
+                        break
+            if had_candidate:
+                self._greedy[sched] = issued_from
+
+    def _issue_lrr(self, cycle: int) -> None:
+        # Loose round-robin: rotate priority each cycle.
+        for sched, swarps in enumerate(self._sched_warps):
+            candidates = [w for w in swarps if not w.warp.exited and w.ibuffer]
             if not candidates:
                 continue
-            if self.config.scheduler_policy == "lrr":
-                # Loose round-robin: rotate priority each cycle.
-                candidates.sort(key=lambda w: w.age)
-                rot = self._issue_rr[sched] % len(candidates)
-                candidates = candidates[rot:] + candidates[:rot]
-                self._issue_rr[sched] += 1
-            else:
-                # Greedy-then-oldest (Table 2's GTO).
-                candidates.sort(key=lambda w: w.age)
-                greedy = self._greedy[sched]
-                if greedy in candidates:
-                    candidates.remove(greedy)
-                    candidates.insert(0, greedy)
+            n = len(candidates)
+            rot = self._issue_rr[sched] % n
+            self._issue_rr[sched] += 1
             issued_from: Optional[WarpRuntime] = None
-            for wrt in candidates:
-                issued = self._issue_from_warp(cycle, wrt)
-                if issued:
+            for i in range(n):
+                wrt = candidates[(rot + i) % n]
+                if self._issue_from_warp(cycle, wrt):
                     issued_from = wrt
                     break
             self._greedy[sched] = issued_from
 
     def _issue_from_warp(self, cycle: int, wrt: WarpRuntime) -> int:
         issued = 0
-        while issued < self.config.issue_width and wrt.ibuffer:
-            entry = wrt.ibuffer[0]
+        ibuf = wrt.ibuffer
+        while issued < self.config.issue_width and ibuf:
+            entry = ibuf[0]
             if entry.free or entry.skip_token:
                 break  # handled by the zero-cost drain
             if wrt.warp.at_barrier or wrt.branch_sync_blocked:
@@ -301,6 +415,7 @@ class SMCore:
             if self._hazard(wrt, entry.inst):
                 break
             wrt.ibuffer.popleft()
+            wrt._buffered -= 1
             self._execute(cycle, wrt, entry)
             issued += 1
             if entry.inst.opcode in (Opcode.BRA, Opcode.EXIT, Opcode.BAR):
@@ -309,16 +424,17 @@ class SMCore:
 
     def _execute(self, cycle: int, wrt: WarpRuntime, entry: IBufferEntry) -> None:
         inst = entry.inst
+        self._activity += 1
         if self.pipeline_trace is not None:
             self.pipeline_trace.record(
                 cycle, self.sm_id, wrt.tb_rt.tb.tb_index, wrt.warp.warp_id, "I", inst.pc
             )
         stats = self.stats
         stats.instructions_issued += 1
-        stats.count(EnergyEvent.ISSUE)
-        srcs, dests = _scoreboard_keys(inst)
-        stats.count(EnergyEvent.RF_READ, len(srcs))
-        stats.rf_bank_conflicts += self._bank_conflicts(srcs, entry)
+        events = stats.energy_events
+        events[EnergyEvent.ISSUE] += 1
+        events[EnergyEvent.RF_READ] += inst.rf_read_count
+        stats.rf_bank_conflicts += self._bank_conflicts(inst, entry)
 
         eliminate_kind = self.frontend.eliminate_at_issue(wrt, inst)
         overrides = entry.overrides or {}
@@ -338,6 +454,7 @@ class SMCore:
         else:
             ready = self._latency(cycle, inst, result)
 
+        dests = inst.sb_dests
         meta = {"dests": dests, "is_leader": entry.is_leader, "result": result}
         for key in dests:
             wrt.scoreboard.add(key)
@@ -348,11 +465,10 @@ class SMCore:
 
         self._post_execute(cycle, wrt, inst, result)
 
-    def _bank_conflicts(self, srcs, entry: IBufferEntry) -> int:
+    def _bank_conflicts(self, inst: Instruction, entry: IBufferEntry) -> int:
         """Same-cycle operand bank collisions (coarse operand-collector
         model: each distinct source register occupies one bank read)."""
-        banks = [hash(k) % self.config.rf_banks for k in srcs]
-        conflicts = len(banks) - len(set(banks))
+        conflicts, banks = inst.bank_info(self.config.rf_banks)
         if entry.overrides:
             # Renamed operands live in the strided rename space; reads
             # from it collide with the warp's own operand reads
@@ -375,11 +491,11 @@ class SMCore:
                 return self.memory.shared_access(cycle, addresses, mask)
             return self.memory.global_access(cycle, addresses, mask, inst.is_store)
         if inst.uses_sfu:
-            self.stats.count(EnergyEvent.SFU_OP)
+            self.stats.energy_events[EnergyEvent.SFU_OP] += 1
             return cycle + cfg.sfu_latency
         if inst.opcode in (Opcode.BRA, Opcode.EXIT, Opcode.BAR, Opcode.NOP):
             return cycle + 1
-        self.stats.count(EnergyEvent.ALU_OP)
+        self.stats.energy_events[EnergyEvent.ALU_OP] += 1
         return cycle + cfg.alu_latency
 
     def _post_execute(self, cycle: int, wrt: WarpRuntime, inst: Instruction, result) -> None:
@@ -409,7 +525,7 @@ class SMCore:
             # A reconvergence pop switched the warp to another divergent
             # path (non-sequential PC without a branch): the straight-line
             # prefetch past the reconvergence point is wrong-path.
-            wrt.ibuffer.clear()
+            wrt.clear_ibuffer()
             wrt.resync_fetch()
 
     def _maybe_release_barrier(self, tb_rt: TBRuntime) -> None:
@@ -427,8 +543,13 @@ class SMCore:
             tb_rt.completed = True
             self.frontend.on_tb_complete(tb_rt)
             self.completed_tbs.append(tb_rt)
+            for w in tb_rt.warps:
+                self._zero_cost_total -= w._zero_cost
             self.warps = [w for w in self.warps if w.tb_rt is not tb_rt]
             self.tbs = [t for t in self.tbs if t is not tb_rt]
+            self._sched_warps = [
+                [w for w in lst if w.tb_rt is not tb_rt] for lst in self._sched_warps
+            ]
 
     # -- fetch --------------------------------------------------------------------
 
@@ -436,15 +557,17 @@ class SMCore:
         n = len(self.warps)
         if n == 0:
             return
+        end_pc = self.ctx.program.end_pc
+        capacity = self.config.ibuffer_entries
         for _initiated in range(self.config.fetch_warps_per_cycle):
             chosen = None
             for i in range(n):
                 wrt = self.warps[(self._fetch_rr + i) % n]
                 if not wrt.fetch_ready() or wrt.skip_blocked:
                     continue
-                if wrt.buffered() >= self.config.ibuffer_entries:
+                if wrt._buffered >= capacity:
                     continue
-                if wrt.fetch_pc >= self.ctx.program.end_pc:
+                if wrt.fetch_pc >= end_pc:
                     continue
                 action = self.frontend.filter_fetch(wrt, wrt.fetch_pc)
                 if action in (FetchAction.HANDLED, FetchAction.WAIT):
@@ -455,15 +578,17 @@ class SMCore:
             if chosen is None:
                 return
             wrt, action = chosen
-            self.stats.count(EnergyEvent.ICACHE_FETCH)
+            self._activity += 1
+            self.stats.energy_events[EnergyEvent.ICACHE_FETCH] += 1
             self._fetch_into(wrt, action)
 
     def _fetch_into(self, wrt: WarpRuntime, first_action: FetchAction) -> None:
         fetched = 0
         action = first_action
+        stats = self.stats
         while (
             fetched < self.config.fetch_width
-            and wrt.buffered() < self.config.ibuffer_entries
+            and wrt._buffered < self.config.ibuffer_entries
         ):
             if action in (FetchAction.HANDLED, FetchAction.WAIT):
                 break
@@ -471,13 +596,14 @@ class SMCore:
             is_leader = action is FetchAction.FETCH_LEADER
             overrides = self.frontend.on_fetch(wrt, inst, is_leader)
             wrt.ibuffer.append(IBufferEntry(inst=inst, is_leader=is_leader, overrides=overrides))
+            wrt._buffered += 1
             if self.pipeline_trace is not None:
                 self.pipeline_trace.record(
                     self.cycle, self.sm_id, wrt.tb_rt.tb.tb_index, wrt.warp.warp_id, "F", inst.pc
                 )
-            self.stats.instructions_fetched += 1
-            self.stats.instructions_decoded += 1
-            self.stats.count(EnergyEvent.DECODE)
+            stats.instructions_fetched += 1
+            stats.instructions_decoded += 1
+            stats.energy_events[EnergyEvent.DECODE] += 1
             wrt.bypass_pcs.discard(wrt.fetch_pc)
             wrt.fetch_pc += INSTRUCTION_BYTES
             fetched += 1

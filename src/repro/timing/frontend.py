@@ -61,6 +61,19 @@ class Frontend:
     def fetch_cycle(self, cycle: int) -> None:
         """Per-cycle hook running in parallel with the fetch scheduler."""
 
+    def next_wake(self, cycle: int) -> Optional[int]:
+        """Earliest future cycle at which this frontend can change state
+        without any other pipeline activity (timed releases), or None.
+
+        Used by event-driven cycle skipping: when an SM is otherwise
+        idle it sleeps until ``min(writeback heap, next_wake())``.  A
+        frontend whose ``fetch_cycle`` can act at a future time purely as
+        a function of the cycle number must report it here; frontends
+        that only react to pipeline events (and call
+        ``sm.note_activity()`` when they mutate state) return None.
+        """
+        return None
+
     def filter_fetch(self, warp_rt, pc: int) -> FetchAction:
         return FetchAction.FETCH
 
@@ -141,11 +154,20 @@ class SiliconSyncFrontend(Frontend):
             if not ready:
                 continue
             tb_rt.frontend_state["pending_release"] = [p for p in pending if p[0] > cycle]
+            self.sm.note_activity()
             for _at, warp_ids in ready:
                 for w in tb_rt.warps:
                     if w.warp.warp_id in warp_ids and not w.warp.exited:
                         w.branch_sync_blocked = False
                         w.resync_fetch()
+
+    def next_wake(self, cycle: int) -> Optional[int]:
+        wake = None
+        for tb_rt in self.sm.tbs:
+            for at, _warp_ids in tb_rt.frontend_state.get("pending_release", ()):
+                if at > cycle and (wake is None or at < wake):
+                    wake = at
+        return wake
 
     def blocks_after_branch(self, warp_rt, inst) -> bool:
         tb_rt = warp_rt.tb_rt

@@ -133,10 +133,20 @@ class GPU:
         cycle = 0
         watchdog_executed = -1
         watchdog_cycle = 0
+        # Event-driven skipping: when a whole tick produced zero state
+        # changes, the next tick would repeat it exactly — jump straight
+        # to the earliest known-future event (writeback heap head /
+        # timed frontend release) and replay the per-idle-cycle
+        # accounting in closed form.  Disabled under a pipeline trace,
+        # which records blocked warps every cycle.
+        skip_enabled = self.config.event_skip and all(
+            sm.pipeline_trace is None for sm in self.sms
+        )
         while self._pending or any(sm.busy for sm in self.sms):
+            activity = 0
             for sm in self.sms:
                 if sm.busy:
-                    sm.tick(cycle)
+                    activity += sm.tick(cycle)
             if any(sm.completed_tbs for sm in self.sms):
                 for sm in self.sms:
                     sm.completed_tbs.clear()
@@ -163,6 +173,29 @@ class GPU:
                         if not w.exited
                     )
                 )
+            if skip_enabled and activity == 0:
+                target: Optional[int] = None
+                for sm in self.sms:
+                    if not sm.busy:
+                        continue
+                    wake = sm.wake_cycle()
+                    if wake is None:
+                        continue
+                    if target is None or wake < target:
+                        target = wake
+                if target is not None:
+                    # Never jump past the watchdog or max_cycles limits,
+                    # so a genuinely stuck simulation still raises at the
+                    # same cycle it would have when stepping.
+                    target = min(
+                        target, watchdog_cycle + 50_000, self.config.max_cycles - 1
+                    )
+                    if target > cycle:
+                        delta = target - cycle
+                        for sm in self.sms:
+                            if sm.busy:
+                                sm.advance_idle(delta)
+                        cycle = target
         merged = SimStats()
         for sm in self.sms:
             sm.stats.cycles = cycle

@@ -23,11 +23,12 @@ from repro.timing.stats import EnergyEvent, SimStats
 
 
 def coalesce_transactions(addresses: np.ndarray, mask: np.ndarray, line_bytes: int) -> List[int]:
-    """Unique memory-transaction line addresses for one warp access."""
-    if not mask.any():
+    """Unique memory-transaction line addresses for one warp access,
+    in ascending order (the L1 / DRAM-queue probe order depends on it)."""
+    active = addresses[mask]
+    if active.size == 0:
         return []
-    lines = np.unique(addresses[mask] // line_bytes)
-    return [int(line) for line in lines]
+    return sorted(set((active // line_bytes).tolist()))
 
 
 def shared_bank_conflict_cycles(
@@ -39,14 +40,19 @@ def shared_bank_conflict_cycles(
     the same bank at *different* words serialise.  Broadcast (same word)
     is free, as on real hardware.
     """
-    if not mask.any():
+    active = addresses[mask]
+    if active.size == 0:
         return 0
-    words = addresses[mask] // 4
-    banks = words % num_banks
+    # At most warp_size (32) lanes: plain set/dict arithmetic beats
+    # repeated np.unique calls at this size.
+    per_bank: dict = {}
     worst = 1
-    for bank in np.unique(banks):
-        distinct = len(np.unique(words[banks == bank]))
-        worst = max(worst, distinct)
+    for word in set((active // 4).tolist()):
+        bank = word % num_banks
+        n = per_bank.get(bank, 0) + 1
+        per_bank[bank] = n
+        if n > worst:
+            worst = n
     return worst - 1
 
 

@@ -57,6 +57,23 @@ class TestTimingStudies:
         for vals in r.per_workload.values():
             assert set(vals) == set(experiments.FIG12_CONFIGS)
 
+    def test_empty_dimension_group_yields_empty_gmean(self):
+        """Regression: geomean raises on an empty sequence; a sweep over
+        only-1D apps must return an empty 2D GMEAN row, not crash."""
+        r = experiments.figure8(scale="tiny", abbrs=("LIB",))
+        assert r.gmean_2d == {}
+        assert r.gmean_1d and all(v > 0 for v in r.gmean_1d.values())
+        assert "GMEAN-1D" in r.render() and "GMEAN-2D" not in r.render()
+
+    def test_gmean_values_always_positive(self):
+        """Regression: the gm() call sites clamp their inputs, so the
+        geomean precondition (positive values) can never be violated by
+        a degenerate run."""
+        r = experiments.figure8(scale="tiny", abbrs=SUBSET)
+        for row in (r.gmean_1d, r.gmean_2d):
+            for v in row.values():
+                assert v > 0
+
 
 class TestStaticArtifacts:
     def test_tables_render(self):

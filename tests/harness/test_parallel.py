@@ -98,6 +98,50 @@ class TestCache:
         outcome, _ = run_one(SPEC, cache_dir=cache_dir, use_cache=True)
         assert not outcome.cache_hit
 
+    def test_clear_cache_removes_leaked_tmp_files(self, cache_dir):
+        """Interrupted atomic writes leave *.pkl.tmp.<pid> files behind;
+        clear_cache must remove them too, not just finished entries."""
+        import os
+
+        run_one(SPEC, cache_dir=cache_dir, use_cache=True)
+        leak = os.path.join(cache_dir, "LIB-BASE-tiny-0000.pkl.tmp.12345")
+        open(leak, "wb").close()
+        unrelated = os.path.join(cache_dir, "README.txt")
+        open(unrelated, "w").close()
+        assert parallel.clear_cache(cache_dir) == 2  # entry + tmp leak
+        assert not os.path.exists(leak)
+        assert os.path.exists(unrelated)  # never deletes foreign files
+
+    def test_reap_stale_tmp_by_age(self, cache_dir):
+        import os
+        import time
+
+        os.makedirs(cache_dir)
+        fresh = os.path.join(cache_dir, "a.pkl.tmp.111")
+        stale = os.path.join(cache_dir, "b.pkl.tmp.222")
+        for p in (fresh, stale):
+            open(p, "wb").close()
+        old = time.time() - 2 * parallel.STALE_TMP_AGE_S
+        os.utime(stale, (old, old))
+        assert parallel.reap_stale_tmp(cache_dir) == 1
+        assert os.path.exists(fresh) and not os.path.exists(stale)
+
+    def test_unwritable_cache_is_counted_and_warned(self, tmp_path):
+        """A cache dir that cannot be created degrades gracefully: the
+        sweep succeeds, the failure is counted, and a warning fires."""
+        blocker = tmp_path / "cache"
+        blocker.write_text("a file where the cache directory should be")
+        with pytest.warns(RuntimeWarning, match="not writable"):
+            outcome, stats = run_one(SPEC, cache_dir=str(blocker), use_cache=True)
+        assert outcome.ok and not outcome.cache_hit
+        assert stats.cache_write_failures == 1
+        assert "1 cache writes failed" in stats.render()
+
+    def test_writable_cache_reports_no_failures(self, cache_dir):
+        _, stats = run_one(SPEC, cache_dir=cache_dir, use_cache=True)
+        assert stats.cache_write_failures == 0
+        assert "cache writes failed" not in stats.render()
+
 
 class TestFailureIsolation:
     def test_verification_error_is_isolated(self, cache_dir, monkeypatch):

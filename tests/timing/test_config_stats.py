@@ -1,6 +1,9 @@
 """Unit tests for the GPU configuration and statistics containers."""
 
 
+import numpy as np
+
+from repro import Dim3, GlobalMemory, LaunchConfig, assemble, simulate
 from repro.timing import EnergyEvent, PASCAL_GTX1080TI, SimStats, small_config
 
 
@@ -50,3 +53,45 @@ class TestStats:
         assert a.instructions_executed == 12
         assert a.skipped_by_class["uniform"] == 5
         assert a.energy_events[EnergyEvent.DECODE] == 10
+
+
+class TestMultiSMStats:
+    """The merged stats of a real multi-SM run are the per-SM sums."""
+
+    SRC = """
+    .param out
+        mul.u32 $o, %tid.x, 4
+        add.u32 $o, $o, %param.out
+        mul.u32 $v, %tid.x, 3
+        st.global.u32 [$o], $v
+        exit
+    """
+
+    def _run(self, num_sms):
+        prog = assemble(self.SRC)
+        launch = LaunchConfig(grid_dim=Dim3(4), block_dim=Dim3(32))
+        mem = GlobalMemory(1 << 12)
+        params = {"out": mem.alloc(512)}
+        return simulate(prog, launch, mem, params=params,
+                        config=small_config(num_sms))
+
+    def test_merge_is_per_sm_sum(self):
+        res = self._run(num_sms=2)
+        assert len(res.per_sm_stats) == 2
+        assert all(s.instructions_executed > 0 for s in res.per_sm_stats)
+        rebuilt = SimStats()
+        for s in res.per_sm_stats:
+            rebuilt.merge(s)
+        rebuilt.cycles = res.cycles
+        assert rebuilt == res.stats          # dataclass eq: every field
+        assert res.stats.instructions_executed == sum(
+            s.instructions_executed for s in res.per_sm_stats
+        )
+        assert res.stats.cycles == max(s.cycles for s in res.per_sm_stats)
+
+    def test_identical_runs_are_bit_identical(self):
+        a, b = self._run(num_sms=2), self._run(num_sms=2)
+        assert a.cycles == b.cycles
+        assert a.stats == b.stats            # dataclass eq: every counter
+        for sa, sb in zip(a.per_sm_stats, b.per_sm_stats):
+            assert sa == sb

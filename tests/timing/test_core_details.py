@@ -35,22 +35,40 @@ class TestScoreboardKeys:
 
 
 class TestIBufferAccounting:
+    def _warp_runtime(self):
+        from collections import deque
+
+        wrt = WarpRuntime.__new__(WarpRuntime)
+        wrt.ibuffer = deque()
+        wrt._buffered = 0
+        wrt._zero_cost = 0
+        wrt.core = None
+        return wrt
+
     def test_free_and_token_entries_do_not_occupy_slots(self):
         prog = assemble("nop\nexit")
         inst = prog.instructions[0]
-
-        class TB:  # minimal stand-in
-            pass
-
-        wrt = WarpRuntime.__new__(WarpRuntime)
-        from collections import deque
-
-        wrt.ibuffer = deque([
-            IBufferEntry(inst=inst),
-            IBufferEntry(inst=inst, free=True),
-            IBufferEntry(inst=inst, skip_token=True),
-        ])
+        wrt = self._warp_runtime()
+        wrt.push_entry(IBufferEntry(inst=inst))
+        wrt.push_entry(IBufferEntry(inst=inst, free=True))
+        wrt.push_entry(IBufferEntry(inst=inst, skip_token=True))
         assert wrt.buffered() == 1
+
+    def test_pop_and_clear_keep_counters_in_sync(self):
+        prog = assemble("nop\nexit")
+        inst = prog.instructions[0]
+        wrt = self._warp_runtime()
+        wrt.push_entry(IBufferEntry(inst=inst))
+        wrt.push_entry(IBufferEntry(inst=inst, free=True))
+        assert (wrt._buffered, wrt._zero_cost) == (1, 1)
+        wrt.pop_head()
+        assert (wrt._buffered, wrt._zero_cost) == (0, 1)
+        wrt.pop_head()
+        assert (wrt._buffered, wrt._zero_cost) == (0, 0)
+        wrt.push_entry(IBufferEntry(inst=inst, skip_token=True))
+        wrt.clear_ibuffer()
+        assert (wrt._buffered, wrt._zero_cost) == (0, 0)
+        assert not wrt.ibuffer
 
 
 class TestDeterminism:

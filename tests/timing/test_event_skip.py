@@ -1,0 +1,157 @@
+"""The bit-identical SimStats contract of the hot-path overhaul.
+
+Two guarantees pin the timing model down after the performance work:
+
+1. **Event-driven cycle skipping is invisible.**  ``GPUConfig.event_skip``
+   jumps the cycle loop over provably idle stretches and replays the
+   per-idle-cycle accounting in closed form; running with it disabled
+   must produce *identical* :class:`SimStats` — every counter, not just
+   cycles.
+
+2. **The golden contract.**  ``tests/timing/data/golden_tiny.json``
+   records the canonical stats of every (workload, Figure-8 config)
+   pair at tiny scale.  Any change to the simulator that moves one of
+   these counters is a semantic change to the model, not an
+   optimization, and must update the golden file deliberately:
+
+       PYTHONPATH=src python -c "
+       from tests.timing.test_event_skip import write_golden
+       write_golden('tests/timing/data/golden_tiny.json')"
+"""
+
+import dataclasses
+import json
+import os
+import zlib
+
+import pytest
+
+from repro.harness.runner import WorkloadRunner
+from repro.isa.instructions import stable_bank
+from repro.timing import small_config
+from repro.workloads import ALL_ABBRS, build_workload
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data", "golden_tiny.json")
+GOLDEN_CONFIGS = ("BASE", "UV", "DAC-IDEAL", "DARSIE")
+
+#: scalar SimStats counters included in the canonical form
+_COUNTERS = (
+    "instructions_fetched", "instructions_decoded", "instructions_issued",
+    "instructions_executed", "instructions_skipped", "executions_eliminated",
+    "sync_wait_cycles", "branch_barriers", "rf_bank_conflicts",
+    "darsie_bank_conflicts", "l1_hits", "l1_misses",
+    "shared_bank_conflict_cycles", "leaders_elected", "follower_skips",
+    "freelist_syncs", "load_entries_invalidated", "warps_left_majority",
+)
+
+
+def canonical(stats) -> dict:
+    """JSON-comparable form of a :class:`SimStats` (all counters)."""
+    d = {"cycles": stats.cycles}
+    for name in _COUNTERS:
+        d[name] = getattr(stats, name)
+    d["skipped_by_class"] = dict(sorted(stats.skipped_by_class.items()))
+    d["eliminated_by_class"] = dict(sorted(stats.eliminated_by_class.items()))
+    d["energy_events"] = dict(sorted((e.value, n) for e, n in stats.energy_events.items()))
+    return d
+
+
+def write_golden(path: str) -> None:
+    """Regenerate the golden file (intentional model changes only)."""
+    entries = {}
+    for abbr in ALL_ABBRS:
+        runner = WorkloadRunner(build_workload(abbr, "tiny"))
+        for config in GOLDEN_CONFIGS:
+            entries[f"{abbr}/{config}"] = canonical(runner.run(config).sim.stats)
+    payload = {
+        "scale": "tiny",
+        "configs": list(GOLDEN_CONFIGS),
+        "entries": entries,
+        "note": "Canonical per-(workload, config) SimStats at tiny scale. "
+                "The timing simulator must reproduce these bit-for-bit; "
+                "regenerate only for intentional model changes "
+                "(tests/timing/test_event_skip.py explains how).",
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+
+
+class TestGoldenContract:
+    """Every (workload, config) reproduces the committed stats exactly."""
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        with open(GOLDEN_PATH) as fh:
+            return json.load(fh)
+
+    @pytest.mark.parametrize("abbr", ALL_ABBRS)
+    def test_workload_matches_golden(self, abbr, golden):
+        runner = WorkloadRunner(build_workload(abbr, "tiny"))
+        for config in golden["configs"]:
+            got = canonical(runner.run(config).sim.stats)
+            want = golden["entries"][f"{abbr}/{config}"]
+            assert got == want, (
+                f"{abbr}/{config}: SimStats deviates from the golden contract; "
+                "if this change is intentional, regenerate the golden file "
+                "(see module docstring)"
+            )
+
+
+class TestEventSkipEquivalence:
+    """event_skip=True/False are bit-identical, per config family."""
+
+    WORKLOADS = ("LIB", "CONVTEX", "MM")
+    CONFIGS = ("BASE", "UV", "DAC-IDEAL", "DARSIE", "SILICON-SYNC")
+
+    @pytest.mark.parametrize("abbr", WORKLOADS)
+    def test_stats_identical_with_and_without_skipping(self, abbr):
+        on = small_config(num_sms=1)
+        off = dataclasses.replace(on, event_skip=False)
+        assert on.event_skip and not off.event_skip
+        runner_on = WorkloadRunner(build_workload(abbr, "tiny"), on)
+        runner_off = WorkloadRunner(build_workload(abbr, "tiny"), off)
+        for config in self.CONFIGS:
+            a = runner_on.run(config).sim
+            b = runner_off.run(config).sim
+            assert a.cycles == b.cycles, f"{abbr}/{config}: cycle count diverged"
+            assert canonical(a.stats) == canonical(b.stats), (
+                f"{abbr}/{config}: event-skip changed a counter"
+            )
+
+    def test_multi_sm_equivalence(self):
+        on = small_config(num_sms=2)
+        off = dataclasses.replace(on, event_skip=False)
+        a = WorkloadRunner(build_workload("BP", "tiny"), on).run("DARSIE").sim
+        b = WorkloadRunner(build_workload("BP", "tiny"), off).run("DARSIE").sim
+        assert canonical(a.stats) == canonical(b.stats)
+
+
+class TestStableBank:
+    """Bank selection no longer depends on per-process string-hash salt."""
+
+    def test_crc32_definition(self):
+        assert stable_bank(("r", "acc"), 16) == zlib.crc32(b"r:acc") % 16
+
+    def test_spread_and_range(self):
+        banks = {stable_bank(("r", f"v{i}"), 8) for i in range(64)}
+        assert banks <= set(range(8))
+        assert len(banks) > 1  # not degenerate
+
+    def test_cross_process_stability(self):
+        """The counters derived from bank hashing are reproducible in a
+        fresh interpreter (a different PYTHONHASHSEED)."""
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.isa.instructions import stable_bank;"
+            "print([stable_bank(('r', n), 16) for n in ('a','b','acc','out')])"
+        )
+        env = dict(os.environ, PYTHONHASHSEED="12345")
+        env["PYTHONPATH"] = os.pathsep.join(sys.path)
+        out = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True,
+            env=env, check=True,
+        ).stdout.strip()
+        here = str([stable_bank(("r", n), 16) for n in ("a", "b", "acc", "out")])
+        assert out == here
