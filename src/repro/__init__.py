@@ -25,6 +25,7 @@ per-figure reproduction harness.
 
 from repro.analysis import geomean, redundancy_levels, taxonomy_breakdown
 from repro.baselines import DacIdealFrontend, UVFrontend, build_dac_profile
+from repro.config import ConfigError, RunConfig, apply_overrides, parse_overrides
 from repro.core import (
     CompilerAnalysis,
     DarsieConfig,
@@ -63,6 +64,7 @@ from repro.staticlib import (
 )
 from repro.timing import GPU, GPUConfig, PASCAL_GTX1080TI, SimulationResult, simulate, small_config
 from repro.timing.frontend import NullFrontend, SiliconSyncFrontend
+from repro.variants import REGISTRY, Variant, VariantRegistry
 from repro.workloads import ALL_ABBRS, ONE_D_ABBRS, TWO_D_ABBRS, build_workload
 
 __version__ = "1.0.0"
@@ -80,6 +82,8 @@ __all__ = [
     "NullFrontend", "SiliconSyncFrontend",
     "DacIdealFrontend", "UVFrontend", "build_dac_profile",
     "PASCAL_ENERGY_MODEL", "EnergyModel",
+    "ConfigError", "RunConfig", "apply_overrides", "parse_overrides",
+    "REGISTRY", "Variant", "VariantRegistry",
     "geomean", "redundancy_levels", "taxonomy_breakdown",
     "ALL_ABBRS", "ONE_D_ABBRS", "TWO_D_ABBRS", "build_workload",
     "WorkloadRunner", "experiments",

@@ -4,50 +4,54 @@ Usage::
 
     python -m repro list
     python -m repro figure8 [--scale small] [--apps MM,LIB]
+    python -m repro figure8 --scale tiny --set gpu.l1_lines=512
     python -m repro all --scale tiny --jobs 4
     python -m repro figure8 --jobs 4 --no-cache
-    python -m repro run MM --config DARSIE --trace
+    python -m repro run MM --config DARSIE --set darsie.skip_ports=4 --trace
+    python -m repro sweep darsie.skip_ports --values 1,2,4,8 --apps MM
     python -m repro lint [MM,LIB] [--strict]
     python -m repro soundness --scale tiny
     python -m repro bench --scale small --out BENCH_timing.json
     python -m repro bench --scale tiny --baseline benchmarks/BENCH_baseline_tiny.json
+    python -m repro config-check
+
+Experiment names and their accepted arguments are derived from
+:data:`repro.harness.experiments.EXPERIMENT_REGISTRY` — a driver that
+declares ``scale`` / ``abbrs`` / ``gpu_config`` parameters receives
+them; there is no dispatch table to keep in sync here.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import os
 import sys
 import time
 
-from repro.harness import experiments, parallel
+from repro.config import ConfigError, RunConfig, apply_overrides, parse_overrides
+from repro.harness import parallel
+from repro.harness.experiments import EXPERIMENT_REGISTRY, ablation_sweep
 from repro.workloads import ALL_ABBRS
 
-#: name -> (callable, takes_scale, takes_abbrs)
-EXPERIMENTS = {
-    "figure1": (experiments.figure1, True, True),
-    "figure2": (experiments.figure2, True, True),
-    "figure6": (experiments.figure6, True, False),
-    "figure8": (experiments.figure8, True, True),
-    "figure9": (experiments.figure9, True, False),
-    "figure10": (experiments.figure10, True, False),
-    "figure11": (experiments.figure11, True, True),
-    "figure12": (experiments.figure12, True, True),
-    "table1": (experiments.table1, False, False),
-    "table2": (experiments.table2, False, False),
-    "table3": (experiments.table3, False, False),
-    "area": (experiments.area_estimate, False, False),
-    "survey": (experiments.survey, False, False),
-}
+COMMANDS = ["list", "all", "run", "sweep", "lint", "soundness", "bench", "config-check"]
 
 
-def run_one(name: str, scale: str, abbrs) -> None:
-    fn, takes_scale, takes_abbrs = EXPERIMENTS[name]
+def run_one(name: str, scale: str, abbrs, gpu_config=None, parser=None) -> None:
+    fn = EXPERIMENT_REGISTRY[name]
+    params = inspect.signature(fn).parameters
     kwargs = {}
-    if takes_scale:
+    if "scale" in params:
         kwargs["scale"] = scale
-    if takes_abbrs and abbrs:
+    if "abbrs" in params and abbrs:
         kwargs["abbrs"] = abbrs
+    if gpu_config is not None:
+        if "gpu_config" not in params:
+            message = f"{name} does not take a GPU configuration (gpu.* override)"
+            if parser is not None:
+                parser.error(message)
+            raise ConfigError(message)
+        kwargs["gpu_config"] = gpu_config
     # perf_counter: monotonic, unlike time.time() under clock adjustment
     start = time.perf_counter()
     result = fn(**kwargs)
@@ -64,11 +68,10 @@ def main(argv=None) -> int:
         prog="python -m repro",
         description="Regenerate tables/figures from the DARSIE paper (ASPLOS 2020).",
     )
-    parser.add_argument("experiment",
-                        choices=list(EXPERIMENTS)
-                        + ["list", "all", "run", "lint", "soundness", "bench"])
+    parser.add_argument("experiment", choices=list(EXPERIMENT_REGISTRY) + COMMANDS)
     parser.add_argument("workload", nargs="?", default=None,
                         help="for `run`: a Table 1 abbreviation, e.g. MM; "
+                             "for `sweep`: a dotted config field, e.g. darsie.skip_ports; "
                              "for `lint`: comma-separated abbreviations (default: all)")
     parser.add_argument("--scale", default="small", choices=["tiny", "small", "medium"],
                         help="workload problem size (default: small)")
@@ -76,6 +79,12 @@ def main(argv=None) -> int:
                         help="comma-separated Table 1 abbreviations (default: all)")
     parser.add_argument("--config", default="DARSIE",
                         help="for `run`: BASE / UV / DAC-IDEAL / DARSIE / variants")
+    parser.add_argument("--set", dest="overrides", action="append", default=[],
+                        metavar="PATH=VALUE",
+                        help="dotted-path config override, e.g. gpu.l1_lines=512 "
+                             "or darsie.skip_ports=4 (repeatable)")
+    parser.add_argument("--values", default=None, metavar="V1,V2,...",
+                        help="for `sweep`: comma-separated values of the swept field")
     parser.add_argument("--trace", action="store_true",
                         help="for `run`: print a pipeline trace of the first cycles")
     parser.add_argument("--json", action="store_true",
@@ -103,13 +112,21 @@ def main(argv=None) -> int:
                              "than the baseline (default: 2.0)")
     args = parser.parse_args(argv)
 
+    try:
+        overrides = parse_overrides(args.overrides)
+    except ConfigError as exc:
+        parser.error(str(exc))
+
     parallel.configure(jobs=args.jobs, use_cache=not args.no_cache)
     if args.clear_cache:
         removed = parallel.clear_cache()
         print(f"[cache] removed {removed} cached result(s)")
 
     if args.experiment == "run":
-        return run_workload(parser, args)
+        return run_workload(parser, args, overrides)
+
+    if args.experiment == "sweep":
+        return run_sweep(parser, args, overrides)
 
     if args.experiment == "lint":
         return run_lint(parser, args)
@@ -118,13 +135,26 @@ def main(argv=None) -> int:
         return run_soundness(parser, args)
 
     if args.experiment == "bench":
-        return run_bench_cmd(parser, args)
+        return run_bench_cmd(parser, args, overrides)
+
+    if args.experiment == "config-check":
+        return run_config_check(parser, args)
 
     if args.experiment == "list":
-        print("available experiments:")
-        for name in EXPERIMENTS:
-            print(f"  {name}")
-        return 0
+        return run_list()
+
+    # Experiment drivers take a whole-machine GPU config, not per-run
+    # frontend knobs, so only gpu.* overrides make sense here; `run` and
+    # `sweep` accept the full override surface.
+    gpu_config = None
+    if overrides:
+        non_gpu = sorted(p for p in overrides if not p.startswith("gpu."))
+        if non_gpu:
+            parser.error(
+                f"experiment drivers only accept gpu.* overrides; got {non_gpu} "
+                "(use `run` or `sweep` for frontend/variant overrides)"
+            )
+        gpu_config = apply_overrides(RunConfig(abbr="MM"), overrides).gpu
 
     abbrs = None
     if args.apps:
@@ -133,10 +163,23 @@ def main(argv=None) -> int:
         if unknown:
             parser.error(f"unknown apps: {sorted(unknown)}; known: {ALL_ABBRS}")
 
-    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    names = list(EXPERIMENT_REGISTRY) if args.experiment == "all" else [args.experiment]
     for name in names:
-        run_one(name, args.scale, abbrs)
+        run_one(name, args.scale, abbrs, gpu_config=gpu_config, parser=parser)
         print()
+    return 0
+
+
+def run_list() -> int:
+    from repro.variants import REGISTRY
+
+    print("available experiments:")
+    for name in EXPERIMENT_REGISTRY:
+        print(f"  {name}")
+    print("\nregistered variants (for `run --config` / sweeps):")
+    for variant in REGISTRY:
+        tags = ",".join(variant.tags)
+        print(f"  {variant.name:<22} [{tags}] {variant.description}")
     return 0
 
 
@@ -180,16 +223,23 @@ def run_soundness(parser, args) -> int:
     return 0 if report.ok else 1
 
 
-def run_bench_cmd(parser, args) -> int:
+def run_bench_cmd(parser, args, overrides) -> int:
     """`python -m repro bench [--scale S] [--apps ...] [--repeats N]
     [--out PATH] [--baseline PATH] [--tolerance X]`."""
     from repro.harness import bench
 
+    gpu_config = None
+    if overrides:
+        non_gpu = sorted(p for p in overrides if not p.startswith("gpu."))
+        if non_gpu:
+            parser.error(f"bench only accepts gpu.* overrides; got {non_gpu}")
+        gpu_config = apply_overrides(RunConfig(abbr="MM"), overrides).gpu
     abbrs = _resolve_abbrs(parser, args)
     report = bench.run_bench(
         scale=args.scale,
         abbrs=abbrs,
         repeats=args.repeats,
+        gpu_config=gpu_config,
         progress=lambda e: print(
             f"  {e.abbr}/{e.config}: {e.wall_s_min:.3f}s ({e.cycles} cycles)",
             flush=True,
@@ -208,27 +258,86 @@ def run_bench_cmd(parser, args) -> int:
     return 0 if outcome.ok else 1
 
 
-def run_workload(parser, args) -> int:
-    """`python -m repro run ABBR --config NAME [--trace] [--json]`."""
+def run_config_check(parser, args) -> int:
+    """`python -m repro config-check`: validate committed config blocks."""
+    from repro.harness.config_check import check_all
+
+    report = check_all()
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def run_sweep(parser, args, overrides) -> int:
+    """`python -m repro sweep FIELD --values V1,V2,... [--apps ABBR]`."""
+    if not args.workload:
+        parser.error("sweep needs a dotted config field, e.g. darsie.skip_ports")
+    if not args.values:
+        parser.error("sweep needs --values V1,V2,...")
+    field = args.workload
+    try:
+        # Reuse override parsing so swept values get the field's type
+        # (ints in any base, bools as true/false/0/1, ...).
+        values = [
+            parse_overrides([f"{field}={text.strip()}"])[field]
+            for text in args.values.split(",")
+        ]
+    except ConfigError as exc:
+        parser.error(str(exc))
+    abbr = "MM"
+    if args.apps:
+        abbr = args.apps.split(",")[0].strip().upper()
+        if abbr not in ALL_ABBRS:
+            parser.error(f"unknown app {abbr!r}; known: {ALL_ABBRS}")
+    gpu_config = None
+    if overrides:
+        non_gpu = sorted(p for p in overrides if not p.startswith("gpu."))
+        if non_gpu:
+            parser.error(
+                f"sweep takes the swept field positionally; --set only accepts "
+                f"gpu.* here, got {non_gpu}"
+            )
+        gpu_config = apply_overrides(RunConfig(abbr="MM"), overrides).gpu
+    start = time.perf_counter()
+    try:
+        result = ablation_sweep(
+            field, values, abbr=abbr, scale=args.scale, gpu_config=gpu_config
+        )
+    except ConfigError as exc:
+        parser.error(str(exc))
+    print(result.render())
+    if result.sweep_stats is not None:
+        print(f"\n{result.sweep_stats.render()}")
+    print(f"\n[sweep of {field} done in {time.perf_counter() - start:.1f}s]")
+    return 0
+
+
+def run_workload(parser, args, overrides) -> int:
+    """`python -m repro run ABBR --config NAME [--set PATH=VALUE] [--trace]`."""
     from repro.harness.runner import WorkloadRunner
     from repro.timing import PipelineTrace
     from repro.timing.gpu import GPU
-    from repro.workloads import build_workload
+    from repro.variants import REGISTRY
 
     if not args.workload or args.workload.upper() not in ALL_ABBRS:
         parser.error(f"run needs a workload from {ALL_ABBRS}")
-    abbr = args.workload.upper()
-    runner = WorkloadRunner(build_workload(abbr, args.scale))
+    cfg = RunConfig(abbr=args.workload.upper(), variant=args.config, scale=args.scale)
+    try:
+        cfg = apply_overrides(cfg, overrides)
+    except ConfigError as exc:
+        parser.error(str(exc))
+    if cfg.darsie is None and cfg.variant not in REGISTRY:
+        parser.error(f"unknown configuration {cfg.variant!r}; known: {REGISTRY.names()}")
+    runner = WorkloadRunner.from_config(cfg)
     base = runner.run("BASE")
-    res = runner.run(args.config)
-    print(f"{abbr} [{args.scale}] under {args.config}:")
+    res = runner.run_config(cfg)
+    print(f"{cfg.abbr} [{cfg.scale}] under {cfg.variant}:")
     print(f"  cycles  : {res.cycles} (BASE {base.cycles}, "
           f"speedup {base.cycles / res.cycles:.2f}x)")
     print(f"  executed: {res.stats.instructions_executed}  "
           f"skipped: {res.stats.instructions_skipped}  "
           f"eliminated: {res.stats.executions_eliminated}")
     print(f"  energy  : {res.energy_pj / 1e6:.2f} uJ "
-          f"({runner.energy_reduction(args.config):.1%} below BASE)")
+          f"({1.0 - res.energy_pj / base.energy_pj:.1%} below BASE)")
     if args.json:
         print(res.sim.to_json(indent=2))
     if args.trace:
@@ -236,7 +345,7 @@ def run_workload(parser, args) -> int:
         mem, params = runner.workload.fresh()
         gpu = GPU(runner.workload.program, runner.workload.launch, mem,
                   params=params, config=runner.gpu_config,
-                  frontend_factory=runner._frontend_factory(args.config))
+                  frontend_factory=runner.frontend_factory(cfg.variant, cfg.darsie))
         trace = PipelineTrace()
         gpu.attach_trace(trace)
         gpu.run()

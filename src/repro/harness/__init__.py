@@ -1,22 +1,33 @@
 """Experiment harness: one driver per paper table/figure.
 
-- :mod:`repro.harness.runner` — builds workloads, runs them under named
-  configurations (BASE / UV / DAC-IDEAL / DARSIE / variants) and
-  verifies every run against its numpy oracle.
+- :mod:`repro.harness.runner` — builds workloads, runs them under
+  registry-declared variants (BASE / UV / DAC-IDEAL / DARSIE / ...)
+  and verifies every run against its numpy oracle.
 - :mod:`repro.harness.experiments` — ``figure1`` ... ``figure12``,
   ``table1`` ... ``table3``, ``area_estimate``, ``survey``: each returns
   a structured result with a ``render()`` text form printing the same
   rows/series the paper reports.
-- :mod:`repro.harness.parallel` — process-pool fan-out of (workload,
-  configuration) runs with an on-disk result cache and per-sweep
-  observability (``RunSpec`` / ``run_specs`` / ``sweep``).
+- :mod:`repro.harness.parallel` — process-pool fan-out of
+  :class:`~repro.config.RunConfig`-described runs with an on-disk
+  result cache and per-sweep observability (``RunSpec`` / ``run_specs``
+  / ``sweep``).
 - :mod:`repro.harness.reporting` — plain-text table rendering.
 """
 
 from repro.harness import experiments, parallel
 from repro.harness.parallel import RunOutcome, RunSpec, SweepError, SweepStats, run_specs
 from repro.harness.reporting import format_table
-from repro.harness.runner import CONFIG_NAMES, RunResult, VerificationError, WorkloadRunner
+from repro.harness.runner import RunResult, VerificationError, WorkloadRunner
+
+
+def __getattr__(name: str):
+    # Live view of the variant registry (late registrations included).
+    if name == "CONFIG_NAMES":
+        from repro.variants import REGISTRY
+
+        return REGISTRY.names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "CONFIG_NAMES",

@@ -29,23 +29,26 @@ import json
 import time
 from dataclasses import dataclass, field
 from statistics import median
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
+from repro.config import DEFAULT_GPU, RunConfig, gpu_from_dict, gpu_to_dict
 from repro.harness.runner import WorkloadRunner
-from repro.timing import GPUConfig, simulate, small_config
+from repro.timing import GPUConfig, simulate
+from repro.variants import REGISTRY
 from repro.workloads import ALL_ABBRS, build_workload
 
 #: Schema version of BENCH_timing.json; bump on layout changes.
-BENCH_SCHEMA = 1
+#: Schema 2 embeds a canonical ``config`` block (scale, GPU diff,
+#: variant list) so the gate knows *what* was benched, not just how fast.
+BENCH_SCHEMA = 2
 
-#: The Figure-8 matrix (mirrors experiments.FIG8_CONFIGS).
-BENCH_CONFIGS: Tuple[str, ...] = (
-    "BASE",
-    "UV",
-    "DAC-IDEAL",
-    "DARSIE",
-    "DARSIE-IGNORE-STORE",
-)
+
+def __getattr__(name: str):
+    # The bench matrix is the registry's "bench"-tagged variants, as a
+    # live view so late registrations are benched too.
+    if name == "BENCH_CONFIGS":
+        return REGISTRY.by_tag("bench")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 #: Default wall-time regression gate: fail at >2x slower than baseline.
 DEFAULT_TOLERANCE = 2.0
@@ -97,10 +100,24 @@ class BenchReport:
     repeats: int
     fingerprint: str
     entries: Dict[str, BenchEntry]   # "ABBR/CONFIG" -> entry
+    gpu_config: Optional[GPUConfig] = None
 
     @property
     def total_wall_s(self) -> float:
         return sum(e.wall_s_min for e in self.entries.values())
+
+    def variants(self) -> List[str]:
+        """Variant names benched, in first-seen (registry) order."""
+        return list(dict.fromkeys(k.split("/", 1)[1] for k in self.entries))
+
+    def run_configs(self) -> List[RunConfig]:
+        """One canonical :class:`RunConfig` per benched entry."""
+        gpu = self.gpu_config or DEFAULT_GPU
+        return [
+            RunConfig(abbr=key.split("/", 1)[0], variant=key.split("/", 1)[1],
+                      scale=self.scale, gpu=gpu)
+            for key in sorted(self.entries)
+        ]
 
     def to_dict(self) -> dict:
         return {
@@ -108,6 +125,11 @@ class BenchReport:
             "scale": self.scale,
             "repeats": self.repeats,
             "fingerprint": self.fingerprint,
+            "config": {
+                "scale": self.scale,
+                "gpu": gpu_to_dict(self.gpu_config or DEFAULT_GPU),
+                "variants": self.variants(),
+            },
             "total_wall_s_min": round(self.total_wall_s, 6),
             "entries": {k: e.to_dict() for k, e in sorted(self.entries.items())},
         }
@@ -136,11 +158,13 @@ class BenchReport:
                 cycles=d["cycles"],
                 wall_s=[d["wall_s_min"], d["wall_s_median"]],
             )
+        config = data.get("config", {})
         return cls(
             scale=data["scale"],
             repeats=data["repeats"],
             fingerprint=data["fingerprint"],
             entries=entries,
+            gpu_config=gpu_from_dict(config.get("gpu", {})),
         )
 
     def render(self) -> str:
@@ -159,25 +183,27 @@ class BenchReport:
 def run_bench(
     scale: str = "small",
     abbrs: Sequence[str] = ALL_ABBRS,
-    configs: Sequence[str] = BENCH_CONFIGS,
+    configs: Optional[Sequence[str]] = None,
     repeats: int = 2,
     gpu_config: Optional[GPUConfig] = None,
     progress=None,
 ) -> BenchReport:
     """Time ``simulate()`` for every (workload, configuration) pair.
 
+    ``configs`` defaults to the registry's ``bench``-tagged variants.
     Runs serially on purpose: parallel workers would contend for cores
     and corrupt the wall-clock numbers.  Every repeat re-creates the
     memory image so no run sees a warmed-up (already written) memory.
     """
     from repro.harness.parallel import code_fingerprint
 
-    gpu_config = gpu_config or small_config(num_sms=1)
+    gpu_config = gpu_config or DEFAULT_GPU
+    configs = tuple(configs) if configs is not None else REGISTRY.by_tag("bench")
     entries: Dict[str, BenchEntry] = {}
     for abbr in abbrs:
         runner = WorkloadRunner(build_workload(abbr, scale), gpu_config)
         for config in configs:
-            factory = runner._frontend_factory(config)  # profile/analysis built here
+            factory = runner.frontend_factory(config)  # profile/analysis built here
             entry = BenchEntry(abbr=abbr, config=config, cycles=0)
             for _ in range(max(1, repeats)):
                 mem, params = runner.workload.fresh()
@@ -200,6 +226,7 @@ def run_bench(
         repeats=repeats,
         fingerprint=code_fingerprint(),
         entries=entries,
+        gpu_config=gpu_config,
     )
 
 

@@ -8,27 +8,51 @@ roughly what factor) without parsing text.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis import default_survey, geomean
 from repro.analysis.limit_study import LevelBreakdown, average_levels
 from repro.analysis.taxonomy_study import TaxonomyBreakdown
-from repro.core import DarsieConfig, analyze_program, paper_area_model
+from repro.config import DEFAULT_GPU, RunConfig, apply_overrides
+from repro.core import analyze_program, paper_area_model
 from repro.energy import PASCAL_ENERGY_MODEL
 from repro.harness import parallel
 from repro.harness.parallel import RunSpec, SweepStats
 from repro.harness.related_work import render_table3
 from repro.harness.reporting import fmt_pct, fmt_x, format_table
 from repro.timing import GPUConfig, PASCAL_GTX1080TI, small_config
+from repro.variants import REGISTRY
 from repro.workloads import ALL_ABBRS, ONE_D_ABBRS, TWO_D_ABBRS, build_workload, table1_rows
 
-#: Figure 8 configurations, in the paper's legend order.
-FIG8_CONFIGS = ("BASE", "UV", "DAC-IDEAL", "DARSIE", "DARSIE-IGNORE-STORE")
-#: Figure 9/10 instruction-reduction configurations.
-REDUCTION_CONFIGS = ("UV", "DAC-IDEAL", "DARSIE")
-#: Figure 12 configurations.
-FIG12_CONFIGS = ("DARSIE", "DARSIE-NO-CF-SYNC", "SILICON-SYNC")
+#: Experiment-name -> driver registry; the CLI derives its dispatch
+#: (and each driver's accepted arguments) from here via introspection,
+#: so adding an experiment is one decorated definition.
+EXPERIMENT_REGISTRY: Dict[str, Callable] = {}
+
+
+def experiment(name: Optional[str] = None) -> Callable:
+    """Register a driver under ``name`` (default: the function name)."""
+    def decorate(fn: Callable) -> Callable:
+        EXPERIMENT_REGISTRY[name or fn.__name__] = fn
+        return fn
+    return decorate
+
+
+#: Legacy config-name tuples, now live queries over the variant
+#: registry (registration order is the paper's legend order).
+_TAG_EXPORTS = {
+    "FIG8_CONFIGS": "fig8",            # Figure 8 configurations
+    "REDUCTION_CONFIGS": "reduction",  # Figure 9/10 instruction reduction
+    "FIG12_CONFIGS": "fig12",          # Figure 12 sync variants
+}
+
+
+def __getattr__(name: str):
+    tag = _TAG_EXPORTS.get(name)
+    if tag is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return REGISTRY.by_tag(tag)
 
 
 # ---------------------------------------------------------------------------
@@ -58,6 +82,7 @@ class Figure1Result:
         )
 
 
+@experiment()
 def figure1(scale: str = "small", abbrs: Sequence[str] = ALL_ABBRS) -> Figure1Result:
     """Redundancy at the grid / TB / warp level, averaged across apps."""
     analyses, stats = parallel.functional_sweep(abbrs, scale)
@@ -94,6 +119,7 @@ class Figure2Result:
         )
 
 
+@experiment()
 def figure2(scale: str = "small", abbrs: Sequence[str] = ALL_ABBRS) -> Figure2Result:
     analyses, stats = parallel.functional_sweep(abbrs, scale)
     per = {abbr: analyses[abbr].taxonomy for abbr in abbrs}
@@ -119,6 +145,7 @@ class Figure6Result:
         )
 
 
+@experiment()
 def figure6(scale: str = "small") -> Figure6Result:
     wl = build_workload("MM", scale)
     analysis = analyze_program(wl.program)
@@ -131,11 +158,13 @@ def figure6(scale: str = "small") -> Figure6Result:
 # ---------------------------------------------------------------------------
 
 
+@experiment()
 def table1() -> str:
     headers = ["Abbr", "Name", "Suite", "TB dim", "Dims"]
     return format_table(headers, table1_rows(), title="Table 1: applications studied")
 
 
+@experiment()
 def table2(config: GPUConfig = PASCAL_GTX1080TI) -> str:
     rows = [
         ["GPU", f"Pascal ({config.name}), {config.num_sms} SMs, "
@@ -149,6 +178,7 @@ def table2(config: GPUConfig = PASCAL_GTX1080TI) -> str:
     return format_table(["Parameter", "Value"], rows, title="Table 2: baseline GPU")
 
 
+@experiment()
 def table3() -> str:
     return render_table3()
 
@@ -210,13 +240,14 @@ def _speedup_sweep(
     )
 
 
+@experiment()
 def figure8(
     scale: str = "small",
     abbrs: Sequence[str] = ALL_ABBRS,
     gpu_config: Optional[GPUConfig] = None,
 ) -> SpeedupResult:
     """Speedup of UV / DAC-IDEAL / DARSIE / DARSIE-IGNORE-STORE."""
-    return _speedup_sweep(FIG8_CONFIGS, scale, abbrs, gpu_config)
+    return _speedup_sweep(REGISTRY.by_tag("fig8"), scale, abbrs, gpu_config)
 
 
 # ---------------------------------------------------------------------------
@@ -255,29 +286,31 @@ class ReductionResult:
 
 
 def _reduction_sweep(scale, abbrs, title, gpu_config=None) -> ReductionResult:
+    reduction_configs = REGISTRY.by_tag("reduction")
     results, sweep_stats = parallel.sweep(
-        abbrs, ("BASE",) + REDUCTION_CONFIGS, scale=scale, gpu_config=gpu_config
+        abbrs, ("BASE",) + reduction_configs, scale=scale, gpu_config=gpu_config
     )
     per: Dict[str, Dict[str, Dict[str, float]]] = {}
     for abbr in abbrs:
         base_exec = results[abbr, "BASE"].stats.instructions_executed
         per[abbr] = {}
-        for config in REDUCTION_CONFIGS:
+        for config in reduction_configs:
             stats = results[abbr, config].stats
             removed = dict(stats.skipped_by_class)
             for cls, n in stats.eliminated_by_class.items():
                 removed[cls] = removed.get(cls, 0) + n
             per[abbr][config] = {cls: n / base_exec for cls, n in removed.items()}
     gmean_total = {}
-    for config in REDUCTION_CONFIGS:
+    for config in reduction_configs:
         totals = [max(1e-9, sum(per[a][config].values())) for a in per]
         gmean_total[config] = geomean(totals)
     return ReductionResult(
-        configs=REDUCTION_CONFIGS, per_workload=per, gmean_total=gmean_total,
+        configs=reduction_configs, per_workload=per, gmean_total=gmean_total,
         title=title, sweep_stats=sweep_stats,
     )
 
 
+@experiment()
 def figure9(scale: str = "small", gpu_config: Optional[GPUConfig] = None) -> ReductionResult:
     """1D-benchmark instruction reduction vs the baseline."""
     return _reduction_sweep(
@@ -287,6 +320,7 @@ def figure9(scale: str = "small", gpu_config: Optional[GPUConfig] = None) -> Red
     )
 
 
+@experiment()
 def figure10(scale: str = "small", gpu_config: Optional[GPUConfig] = None) -> ReductionResult:
     """2D-benchmark instruction reduction vs the baseline."""
     return _reduction_sweep(
@@ -325,23 +359,26 @@ class EnergyResult:
         )
 
 
+@experiment()
 def figure11(
     scale: str = "small",
     abbrs: Sequence[str] = ALL_ABBRS,
     gpu_config: Optional[GPUConfig] = None,
 ) -> EnergyResult:
-    configs = ("UV", "DAC-IDEAL", "DARSIE")
+    configs = REGISTRY.by_tag("reduction")
     results, stats = parallel.sweep(
         abbrs, ("BASE",) + configs, scale=scale, gpu_config=gpu_config
     )
     num_sms = (gpu_config or small_config(num_sms=1)).num_sms
+    darsie = REGISTRY.get("DARSIE")
     per: Dict[str, Dict[str, float]] = {}
     overhead: Dict[str, float] = {}
     for abbr in abbrs:
         base = results[abbr, "BASE"].energy_pj
         per[abbr] = {c: 1.0 - results[abbr, c].energy_pj / base for c in configs}
-        breakdown = PASCAL_ENERGY_MODEL.breakdown(results[abbr, "DARSIE"].stats, num_sms)
-        overhead[abbr] = breakdown.overhead_fraction
+        overhead[abbr] = darsie.overhead_fraction(
+            PASCAL_ENERGY_MODEL, results[abbr, "DARSIE"].stats, num_sms
+        )
     def gm(group):
         members = [a for a in group if a in per]
         if not members:
@@ -367,14 +404,14 @@ def figure11(
 # ---------------------------------------------------------------------------
 
 
+@experiment()
 def figure12(
     scale: str = "small",
     abbrs: Sequence[str] = ALL_ABBRS,
     gpu_config: Optional[GPUConfig] = None,
 ) -> SpeedupResult:
     """DARSIE vs DARSIE-NO-CF-SYNC vs SILICON-SYNC."""
-    result = _speedup_sweep(FIG12_CONFIGS, scale, abbrs, gpu_config)
-    return result
+    return _speedup_sweep(REGISTRY.by_tag("fig12"), scale, abbrs, gpu_config)
 
 
 # ---------------------------------------------------------------------------
@@ -382,6 +419,7 @@ def figure12(
 # ---------------------------------------------------------------------------
 
 
+@experiment("area")
 def area_estimate() -> str:
     return paper_area_model().report()
 
@@ -410,6 +448,7 @@ class SurveyResult:
                             title="Section 1: application survey (synthetic dataset)")
 
 
+@experiment()
 def survey() -> SurveyResult:
     s = default_survey()
     return SurveyResult(
@@ -439,27 +478,46 @@ class AblationResult:
                             title=f"Ablation: DARSIE speedup vs {self.parameter}")
 
 
-def _ablation_sweep(
-    parameter: str,
-    abbr: str,
-    scale: str,
-    gpu_config: Optional[GPUConfig],
-    variants: Sequence[Tuple[object, str, Optional[DarsieConfig]]],
+def ablation_sweep(
+    field_path: str,
+    values: Sequence[object],
+    abbr: str = "MM",
+    scale: str = "small",
+    gpu_config: Optional[GPUConfig] = None,
+    variant: str = "DARSIE",
+    parameter: Optional[str] = None,
 ) -> AblationResult:
-    """Run BASE plus each (value, config_name, darsie_config) variant."""
-    specs = [RunSpec(abbr=abbr, config_name="BASE", scale=scale, gpu_config=gpu_config)]
-    specs += [
-        RunSpec(abbr=abbr, config_name=name, scale=scale,
-                gpu_config=gpu_config, darsie_config=cfg)
-        for _, name, cfg in variants
-    ]
+    """Sweep one dotted :class:`RunConfig` field and report speedup over BASE.
+
+    ``darsie.*`` fields vary the frontend only, so every point shares a
+    single BASE run; ``gpu.*`` fields change the machine, so each point
+    gets its own BASE on the same hardware.
+    """
+    root = field_path.split(".", 1)[0]
+    base_cfg = RunConfig(abbr=abbr, scale=scale, gpu=gpu_config or DEFAULT_GPU)
+    specs: List[RunSpec] = []
+    index: List[Tuple[object, int, int]] = []   # (value, base idx, variant idx)
+    if root != "gpu":
+        specs.append(RunSpec.from_run_config(replace(base_cfg, variant="BASE")))
+    for value in values:
+        var_cfg = apply_overrides(replace(base_cfg, variant=variant), {field_path: value})
+        if root == "gpu":
+            base_idx = len(specs)
+            specs.append(RunSpec.from_run_config(replace(var_cfg, variant="BASE", darsie=None)))
+            name = variant
+        else:
+            base_idx = 0
+            name = f"{variant}-{field_path.split('.')[-1]}={value}"
+        index.append((value, base_idx, len(specs)))
+        specs.append(RunSpec.from_run_config(var_cfg, config_name=name))
     outcomes, stats = parallel.run_specs(specs, strict=True)
-    base = outcomes[0].result.cycles
     points = [
-        (value, base / outcome.result.cycles)
-        for (value, _, _), outcome in zip(variants, outcomes[1:])
+        (value, outcomes[b].result.cycles / outcomes[v].result.cycles)
+        for value, b, v in index
     ]
-    return AblationResult(parameter=parameter, points=points, sweep_stats=stats)
+    return AblationResult(
+        parameter=parameter or field_path, points=points, sweep_stats=stats
+    )
 
 
 def ablation_skip_ports(
@@ -467,9 +525,9 @@ def ablation_skip_ports(
     ports: Sequence[int] = (1, 2, 4, 8),
     gpu_config: Optional[GPUConfig] = None,
 ) -> AblationResult:
-    return _ablation_sweep(
-        "PC-coalescer ports", abbr, scale, gpu_config,
-        [(p, f"DARSIE-ports{p}", DarsieConfig(skip_ports=p)) for p in ports],
+    return ablation_sweep(
+        "darsie.skip_ports", ports, abbr=abbr, scale=scale,
+        gpu_config=gpu_config, parameter="PC-coalescer ports",
     )
 
 
@@ -478,9 +536,9 @@ def ablation_rename_registers(
     sizes: Sequence[int] = (4, 8, 16, 32),
     gpu_config: Optional[GPUConfig] = None,
 ) -> AblationResult:
-    return _ablation_sweep(
-        "rename registers per TB", abbr, scale, gpu_config,
-        [(n, f"DARSIE-rename{n}", DarsieConfig(rename_regs_per_tb=n)) for n in sizes],
+    return ablation_sweep(
+        "darsie.rename_regs_per_tb", sizes, abbr=abbr, scale=scale,
+        gpu_config=gpu_config, parameter="rename registers per TB",
     )
 
 
@@ -488,8 +546,10 @@ def ablation_sync_on_write(
     abbr: str = "MM", scale: str = "small", gpu_config: Optional[GPUConfig] = None
 ) -> AblationResult:
     """Versioning (paper's choice) vs synchronize-on-every-write."""
-    return _ablation_sweep(
-        "redundant-write policy", abbr, scale, gpu_config,
-        [("versioning", "DARSIE", None),
-         ("sync-on-write", "DARSIE-SYNC-ON-WRITE", None)],
+    result = ablation_sweep(
+        "darsie.sync_on_write", (False, True), abbr=abbr, scale=scale,
+        gpu_config=gpu_config, parameter="redundant-write policy",
     )
+    labels = {False: "versioning", True: "sync-on-write"}
+    result.points = [(labels[v], s) for v, s in result.points]
+    return result

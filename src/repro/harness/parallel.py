@@ -10,8 +10,10 @@ This module provides:
   memory factories, frontend closures) ever crosses the process
   boundary;
 - an on-disk result cache under ``results/.cache/`` keyed by a
-  deterministic hash of the kernel program, workload dimensions,
-  configuration and GPU config, invalidated by a cache version *and* a
+  deterministic hash of the kernel program plus the run's canonical
+  :class:`~repro.config.RunConfig` serialization (two specs share an
+  entry iff their canonical forms agree), invalidated by a cache
+  version *and* a
   fingerprint of the simulator's own source code, so stale results can
   never survive a change to the timing model;
 - graceful degradation — a worker crash or :class:`VerificationError`
@@ -36,20 +38,22 @@ import time
 import traceback
 import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from multiprocessing import get_all_start_methods, get_context
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.analysis import redundancy_levels, taxonomy_breakdown
 from repro.analysis.limit_study import LevelBreakdown
 from repro.analysis.taxonomy_study import TaxonomyBreakdown
+from repro.config import DEFAULT_GPU, RunConfig, apply_overrides
 from repro.core import DarsieConfig
 from repro.harness.runner import RunResult, WorkloadRunner
-from repro.timing import GPUConfig, small_config
+from repro.timing import GPUConfig
 from repro.workloads import build_workload
 
 #: Bump to invalidate every cached result (schema or semantics change).
-CACHE_VERSION = 1
+#: 2: keys derived from the canonical RunConfig serialization.
+CACHE_VERSION = 2
 
 #: Pseudo-configuration name: functional trace analysis (Figures 1/2).
 FUNCTIONAL = "FUNCTIONAL"
@@ -82,6 +86,36 @@ class RunSpec:
     @property
     def label(self) -> str:
         return f"{self.abbr}/{self.config_name}@{self.scale}"
+
+    def to_run_config(self) -> RunConfig:
+        """The typed, canonical description of this run (the identity
+        the cache key fingerprints)."""
+        return RunConfig(
+            abbr=self.abbr,
+            variant=self.config_name,
+            scale=self.scale,
+            gpu=self.gpu_config or DEFAULT_GPU,
+            darsie=self.darsie_config,
+        )
+
+    @classmethod
+    def from_run_config(
+        cls, config: RunConfig, config_name: Optional[str] = None
+    ) -> "RunSpec":
+        """Spec for a :class:`RunConfig` (``config_name`` overrides the
+        display name for ad-hoc ablation points)."""
+        return cls(
+            abbr=config.abbr,
+            config_name=config_name or config.variant,
+            scale=config.scale,
+            gpu_config=config.gpu,
+            darsie_config=config.darsie,
+        )
+
+    def with_overrides(self, overrides: Mapping[str, object]) -> "RunSpec":
+        """A copy with dotted-path config overrides applied (see
+        :func:`repro.config.apply_overrides`)."""
+        return RunSpec.from_run_config(apply_overrides(self.to_run_config(), overrides))
 
 
 @dataclass
@@ -257,24 +291,21 @@ def code_fingerprint() -> str:
     return _code_fingerprint_memo
 
 
-def _resolved_gpu_config(spec: RunSpec) -> GPUConfig:
-    """The config the worker will use (mirrors WorkloadRunner's default)."""
-    return spec.gpu_config or small_config(num_sms=1)
-
-
 def cache_key(spec: RunSpec) -> str:
-    """Deterministic content hash identifying one run's inputs."""
+    """Deterministic content hash identifying one run's inputs.
+
+    The run itself is identified *only* by its canonical
+    :class:`RunConfig` serialization: two specs share a key iff their
+    canonical dicts are equal (plus the cache version and the code /
+    program fingerprints that scope every key).
+    """
     parts = {
         "cache_version": CACHE_VERSION,
         "code": code_fingerprint(),
         "program": _workload_fingerprint(spec.abbr, spec.scale),
-        "abbr": spec.abbr,
-        "scale": spec.scale,
-        "config": spec.config_name,
-        "gpu": asdict(_resolved_gpu_config(spec)),
-        "darsie": asdict(spec.darsie_config) if spec.darsie_config else None,
+        "run": spec.to_run_config().to_dict(),
     }
-    blob = json.dumps(parts, sort_keys=True, default=str)
+    blob = json.dumps(parts, sort_keys=True)
     return hashlib.sha256(blob.encode()).hexdigest()
 
 

@@ -1,9 +1,14 @@
-"""Workload runner: named configurations over the shared substrate.
+"""Workload runner: registry-declared variants over the shared substrate.
 
-Every configuration runs the same kernel on the same timing model and is
+Every variant runs the same kernel on the same timing model and is
 verified against the workload's numpy oracle — a run that produces wrong
 results raises, so no experiment can silently report numbers from a
 broken mechanism.
+
+Which variants exist, how their frontends are built and which inputs
+they need is declared once in :data:`repro.variants.REGISTRY`; the
+runner just resolves names against it.  ``CONFIG_NAMES`` remains as a
+live view of the registry for backward compatibility.
 """
 
 from __future__ import annotations
@@ -11,26 +16,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.baselines import DacIdealFrontend, UVFrontend, build_dac_profile
+from repro.baselines import build_dac_profile
+from repro.config import RunConfig
 from repro.core import CompilerAnalysis, DarsieConfig, DarsieFrontend, analyze_program
-from repro.energy import EnergyModel, PASCAL_ENERGY_MODEL
+from repro.energy import EnergyModel, PASCAL_ENERGY_MODEL, get_energy_model
 from repro.simt import Tracer, run_functional
 from repro.simt.tracer import ExecutionTrace
 from repro.timing import GPUConfig, SimulationResult, simulate, small_config
-from repro.timing.frontend import SiliconSyncFrontend
+from repro.variants import REGISTRY, Variant, VariantRegistry
 from repro.workloads import Workload, build_workload
 
-#: Configuration names understood by :meth:`WorkloadRunner.run`.
-CONFIG_NAMES = (
-    "BASE",
-    "UV",
-    "DAC-IDEAL",
-    "DARSIE",
-    "DARSIE-IGNORE-STORE",
-    "DARSIE-NO-CF-SYNC",
-    "DARSIE-SYNC-ON-WRITE",
-    "SILICON-SYNC",
-)
+
+def __getattr__(name: str):
+    # Live view: late-registered variants show up without re-importing.
+    if name == "CONFIG_NAMES":
+        return REGISTRY.names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class VerificationError(AssertionError):
@@ -56,21 +57,35 @@ class RunResult:
 
 
 class WorkloadRunner:
-    """Runs one workload under the named configurations, with caching."""
+    """Runs one workload under registered variants, with caching."""
 
     def __init__(
         self,
         workload: Workload,
         gpu_config: Optional[GPUConfig] = None,
         energy_model: EnergyModel = PASCAL_ENERGY_MODEL,
+        registry: VariantRegistry = REGISTRY,
     ):
         self.workload = workload
         self.gpu_config = gpu_config or small_config(num_sms=1)
         self.energy_model = energy_model
+        self.registry = registry
         self.analysis: CompilerAnalysis = analyze_program(workload.program)
         self._results: Dict[str, RunResult] = {}
         self._dac_profile = None
         self._trace: Optional[ExecutionTrace] = None
+
+    @classmethod
+    def from_config(
+        cls, config: RunConfig, registry: VariantRegistry = REGISTRY
+    ) -> "WorkloadRunner":
+        """Build the substrate a :class:`RunConfig` describes."""
+        return cls(
+            build_workload(config.abbr, config.scale),
+            gpu_config=config.gpu,
+            energy_model=get_energy_model(config.energy),
+            registry=registry,
+        )
 
     # -- building blocks -----------------------------------------------------
 
@@ -96,25 +111,23 @@ class WorkloadRunner:
             )
         return self._dac_profile
 
-    def _frontend_factory(self, name: str) -> Optional[Callable]:
-        if name == "BASE":
-            return None
-        if name == "UV":
-            return lambda: UVFrontend(self.analysis)
-        if name == "DAC-IDEAL":
-            profile = self.dac_profile()
-            return lambda: DacIdealFrontend(profile)
-        if name == "DARSIE":
-            return lambda: DarsieFrontend(self.analysis)
-        if name == "DARSIE-IGNORE-STORE":
-            return lambda: DarsieFrontend(self.analysis, DarsieConfig(ignore_store=True))
-        if name == "DARSIE-NO-CF-SYNC":
-            return lambda: DarsieFrontend(self.analysis, DarsieConfig(no_cf_sync=True))
-        if name == "DARSIE-SYNC-ON-WRITE":
-            return lambda: DarsieFrontend(self.analysis, DarsieConfig(sync_on_write=True))
-        if name == "SILICON-SYNC":
-            return SiliconSyncFrontend
-        raise KeyError(f"unknown configuration {name!r}; known: {CONFIG_NAMES}")
+    def variant(self, name: str) -> Variant:
+        return self.registry.get(name)
+
+    def frontend_factory(
+        self, name: str, darsie_config: Optional[DarsieConfig] = None
+    ) -> Optional[Callable]:
+        """Resolve a variant name to a frontend factory.
+
+        Explicit ``darsie_config`` knobs take precedence over the
+        variant's declared defaults; an unregistered name with explicit
+        knobs (ad-hoc ablation points like ``DARSIE-ports4``) builds a
+        plain DARSIE frontend with those knobs.
+        """
+        if darsie_config is not None:
+            return lambda: DarsieFrontend(self.analysis, darsie_config)
+        variant = self.registry.get(name)
+        return variant.make_frontend(self, variant.darsie_defaults)
 
     # -- running -----------------------------------------------------------------
 
@@ -123,10 +136,7 @@ class WorkloadRunner:
         cache_key = config_name if darsie_config is None else None
         if cache_key and cache_key in self._results:
             return self._results[cache_key]
-        if darsie_config is not None:
-            factory: Optional[Callable] = lambda: DarsieFrontend(self.analysis, darsie_config)
-        else:
-            factory = self._frontend_factory(config_name)
+        factory = self.frontend_factory(config_name, darsie_config)
         mem, params = self.workload.fresh()
         sim = simulate(
             self.workload.program,
@@ -151,6 +161,11 @@ class WorkloadRunner:
             self._results[cache_key] = result
         return result
 
+    def run_config(self, config: RunConfig) -> RunResult:
+        """Run the variant a :class:`RunConfig` names (the workload,
+        scale, GPU and energy model must match this runner's)."""
+        return self.run(config.variant, config.darsie)
+
     def speedup(self, config_name: str) -> float:
         return self.run("BASE").cycles / self.run(config_name).cycles
 
@@ -165,6 +180,16 @@ class WorkloadRunner:
     def energy_reduction(self, config_name: str) -> float:
         base = self.run("BASE").energy_pj
         return 1.0 - self.run(config_name).energy_pj / base
+
+    def overhead_fraction(self, config_name: str) -> float:
+        """Added-hardware energy overhead of a variant (its registry
+        hook; 0.0 when the variant declares none)."""
+        variant = self.registry.get(config_name)
+        if variant.overhead_fraction is None:
+            return 0.0
+        return variant.overhead_fraction(
+            self.energy_model, self.run(config_name).stats, self.gpu_config.num_sms
+        )
 
 
 def make_runners(

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict
 
 
@@ -43,7 +43,8 @@ class EnergyEvent(enum.Enum):
 class SimStats:
     """Aggregated statistics of one timing simulation."""
 
-    cycles: int = 0
+    #: wall clock, not work: SMs run concurrently, so merging takes the max
+    cycles: int = field(default=0, metadata={"merge": "max"})
     instructions_fetched: int = 0
     instructions_decoded: int = 0
     instructions_issued: int = 0
@@ -79,32 +80,27 @@ class SimStats:
         return self.instructions_executed + self.instructions_skipped
 
     def merge(self, other: "SimStats") -> None:
-        """Accumulate another stats object into this one (multi-SM)."""
-        self.cycles = max(self.cycles, other.cycles)
-        for name in (
-            "instructions_fetched",
-            "instructions_decoded",
-            "instructions_issued",
-            "instructions_executed",
-            "instructions_skipped",
-            "executions_eliminated",
-            "sync_wait_cycles",
-            "branch_barriers",
-            "rf_bank_conflicts",
-            "darsie_bank_conflicts",
-            "l1_hits",
-            "l1_misses",
-            "shared_bank_conflict_cycles",
-            "leaders_elected",
-            "follower_skips",
-            "freelist_syncs",
-            "load_entries_invalidated",
-            "warps_left_majority",
-        ):
-            setattr(self, name, getattr(self, name) + getattr(other, name))
-        self.skipped_by_class.update(other.skipped_by_class)
-        self.eliminated_by_class.update(other.eliminated_by_class)
-        self.energy_events.update(other.energy_events)
+        """Accumulate another stats object into this one (multi-SM).
+
+        Merge semantics come from the field definitions, so a newly
+        added counter is aggregated automatically: ``Counter`` fields
+        are element-wise added, ``int`` fields are summed, and a field
+        declared with ``metadata={"merge": "max"}`` (wall-clock-like
+        quantities) takes the maximum.  A field of any other type is a
+        programming error and raises rather than being silently dropped.
+        """
+        for f in fields(self):
+            mine, theirs = getattr(self, f.name), getattr(other, f.name)
+            if f.metadata.get("merge") == "max":
+                setattr(self, f.name, max(mine, theirs))
+            elif isinstance(mine, Counter):
+                mine.update(theirs)
+            elif isinstance(mine, int):
+                setattr(self, f.name, mine + theirs)
+            else:
+                raise TypeError(
+                    f"SimStats.{f.name}: no merge rule for {type(mine).__name__}"
+                )
 
     def summary(self) -> Dict[str, float]:
         return {

@@ -1,0 +1,203 @@
+"""Variant registry: every named run configuration, declared once.
+
+A *variant* is a named way of running a kernel on the timing substrate —
+the unmodified baseline, the UV and DAC-IDEAL comparison points, DARSIE
+and its paper ablations (Figures 8 and 12).  Each registry entry
+declares everything the rest of the stack needs:
+
+- ``make_frontend`` — how to build the SM frontend for a run (given the
+  prepared inputs and the effective DARSIE knobs);
+- ``requires`` — which expensive inputs the runner must prepare
+  (``"analysis"`` for the compiler pass, ``"dac_profile"`` for the
+  DAC-IDEAL oracle profile);
+- ``tags`` — which experiment families select the variant, so the
+  figure drivers query the registry instead of hand-copying name
+  tuples;
+- ``darsie_defaults`` — the knob preset a DARSIE-family variant implies;
+- ``overhead_fraction`` — how to attribute added-hardware energy
+  overhead (Figure 11's DARSIE column).
+
+Adding a new ablation variant is one :func:`REGISTRY.register` call —
+no edits to :mod:`repro.harness.runner` or
+:mod:`repro.harness.experiments`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from repro.baselines import DacIdealFrontend, UVFrontend
+from repro.core import DarsieConfig, DarsieFrontend
+from repro.timing.frontend import SiliconSyncFrontend
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One named run configuration."""
+
+    name: str
+    #: ``(inputs, darsie) -> frontend factory`` where ``inputs`` exposes
+    #: ``.analysis`` and ``.dac_profile()`` (duck-typed; the
+    #: :class:`~repro.harness.runner.WorkloadRunner` itself serves).
+    #: Returns ``None`` for the unmodified baseline frontend.
+    make_frontend: Callable[[object, Optional[DarsieConfig]], Optional[Callable]]
+    #: inputs the runner must prepare before a timed region
+    requires: Tuple[str, ...] = ()
+    #: experiment families that select this variant
+    tags: Tuple[str, ...] = ()
+    #: DARSIE knob preset this variant implies (``None``: not DARSIE or
+    #: paper defaults)
+    darsie_defaults: Optional[DarsieConfig] = None
+    description: str = ""
+    #: ``(energy_model, stats, num_sms) -> fraction`` of dynamic energy
+    #: spent in the variant's added hardware (``None``: no overhead)
+    overhead_fraction: Optional[Callable] = field(default=None, compare=False)
+
+
+class VariantRegistry:
+    """Ordered name -> :class:`Variant` registry."""
+
+    def __init__(self):
+        self._variants: Dict[str, Variant] = {}
+
+    def register(self, variant: Variant, replace: bool = False) -> Variant:
+        if variant.name in self._variants and not replace:
+            raise ValueError(f"variant {variant.name!r} is already registered")
+        self._variants[variant.name] = variant
+        return variant
+
+    def unregister(self, name: str) -> None:
+        self._variants.pop(name, None)
+
+    def get(self, name: str) -> Variant:
+        try:
+            return self._variants[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown configuration {name!r}; known: {self.names()}"
+            ) from None
+
+    def names(self) -> Tuple[str, ...]:
+        """Every registered variant name, in registration order."""
+        return tuple(self._variants)
+
+    def by_tag(self, tag: str) -> Tuple[str, ...]:
+        """Names carrying ``tag``, in registration order (which is the
+        paper's legend order for the default registrations)."""
+        return tuple(n for n, v in self._variants.items() if tag in v.tags)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._variants
+
+    def __iter__(self) -> Iterator[Variant]:
+        return iter(self._variants.values())
+
+    def __len__(self) -> int:
+        return len(self._variants)
+
+
+# ---------------------------------------------------------------------------
+# Default registrations (the paper's configurations)
+# ---------------------------------------------------------------------------
+
+
+def _no_frontend(inputs, darsie):
+    return None
+
+
+def _uv_frontend(inputs, darsie):
+    analysis = inputs.analysis
+    return lambda: UVFrontend(analysis)
+
+
+def _dac_frontend(inputs, darsie):
+    profile = inputs.dac_profile()
+    return lambda: DacIdealFrontend(profile)
+
+
+def _darsie_frontend(inputs, darsie):
+    analysis = inputs.analysis
+    return lambda: DarsieFrontend(analysis, darsie)
+
+
+def _silicon_sync_frontend(inputs, darsie):
+    return SiliconSyncFrontend
+
+
+def _darsie_overhead(model, stats, num_sms):
+    return model.breakdown(stats, num_sms).overhead_fraction
+
+
+#: The process-wide registry all layers consult.
+REGISTRY = VariantRegistry()
+
+
+def register_default_variants(registry: VariantRegistry = REGISTRY) -> None:
+    """Register the paper's eight configurations (idempotent-by-error:
+    call once per registry)."""
+    registry.register(Variant(
+        name="BASE",
+        make_frontend=_no_frontend,
+        tags=("baseline", "fig8", "golden", "bench"),
+        description="unmodified baseline GPU",
+    ))
+    registry.register(Variant(
+        name="UV",
+        make_frontend=_uv_frontend,
+        requires=("analysis",),
+        tags=("fig8", "reduction", "golden", "bench"),
+        description="uniform-vector execution elimination at issue",
+    ))
+    registry.register(Variant(
+        name="DAC-IDEAL",
+        make_frontend=_dac_frontend,
+        requires=("dac_profile",),
+        tags=("fig8", "reduction", "golden", "bench"),
+        description="idealized decoupled affine computation (oracle profile)",
+    ))
+    registry.register(Variant(
+        name="DARSIE",
+        make_frontend=_darsie_frontend,
+        requires=("analysis",),
+        tags=("fig8", "reduction", "fig12", "golden", "bench"),
+        description="the paper's mechanism, default knobs",
+        overhead_fraction=_darsie_overhead,
+    ))
+    registry.register(Variant(
+        name="DARSIE-IGNORE-STORE",
+        make_frontend=_darsie_frontend,
+        requires=("analysis",),
+        tags=("fig8", "bench"),
+        darsie_defaults=DarsieConfig(ignore_store=True),
+        description="keep load entries across stores (Figure 8)",
+        overhead_fraction=_darsie_overhead,
+    ))
+    registry.register(Variant(
+        name="DARSIE-NO-CF-SYNC",
+        make_frontend=_darsie_frontend,
+        requires=("analysis",),
+        tags=("fig12",),
+        darsie_defaults=DarsieConfig(no_cf_sync=True),
+        description="no TB barrier at branches (Figure 12)",
+        overhead_fraction=_darsie_overhead,
+    ))
+    registry.register(Variant(
+        name="DARSIE-SYNC-ON-WRITE",
+        make_frontend=_darsie_frontend,
+        requires=("analysis",),
+        tags=("ablation",),
+        darsie_defaults=DarsieConfig(sync_on_write=True),
+        description="synchronize the TB on every redundant write "
+                    "(Section 4.1, rejected option 1)",
+        overhead_fraction=_darsie_overhead,
+    ))
+    registry.register(Variant(
+        name="SILICON-SYNC",
+        make_frontend=_silicon_sync_frontend,
+        tags=("fig12",),
+        description="hardware-synchronization cost bound (Figure 12)",
+    ))
+
+
+register_default_variants()

@@ -34,3 +34,78 @@ class TestRunSubcommand:
     def test_run_case_insensitive(self, capsys):
         assert main(["run", "hs", "--scale", "tiny", "--config", "UV"]) == 0
         assert "under UV" in capsys.readouterr().out
+
+    def test_run_rejects_unknown_variant(self):
+        with pytest.raises(SystemExit):
+            main(["run", "MM", "--scale", "tiny", "--config", "DARSIE-TURBO"])
+
+
+class TestSetOverrides:
+    def test_run_with_darsie_override(self, capsys):
+        assert main(["run", "MM", "--scale", "tiny", "--config", "DARSIE",
+                     "--set", "darsie.skip_ports=4", "--no-cache"]) == 0
+        assert "under DARSIE" in capsys.readouterr().out
+
+    def test_run_override_can_switch_scale(self, capsys):
+        assert main(["run", "MM", "--config", "BASE",
+                     "--set", "scale=tiny", "--no-cache"]) == 0
+        assert "MM [tiny]" in capsys.readouterr().out
+
+    def test_experiment_with_gpu_override(self, capsys):
+        assert main(["figure8", "--scale", "tiny", "--apps", "MM",
+                     "--set", "gpu.l1_lines=512", "--no-cache"]) == 0
+        assert "Figure 8" in capsys.readouterr().out
+
+    def test_experiment_rejects_non_gpu_override(self):
+        with pytest.raises(SystemExit):
+            main(["figure8", "--scale", "tiny", "--apps", "MM",
+                  "--set", "darsie.skip_ports=4"])
+
+    def test_functional_experiment_rejects_gpu_override(self):
+        # figure1 is a functional study: no gpu_config parameter to pass to
+        with pytest.raises(SystemExit):
+            main(["figure1", "--scale", "tiny", "--apps", "MM",
+                  "--set", "gpu.l1_lines=512"])
+
+    def test_bad_override_path_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["run", "MM", "--scale", "tiny", "--set", "gpu.l1_linez=4"])
+
+    def test_malformed_override_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["run", "MM", "--scale", "tiny", "--set", "gpu.l1_lines"])
+
+
+class TestSweepSubcommand:
+    def test_sweep_darsie_field(self, capsys):
+        assert main(["sweep", "darsie.skip_ports", "--values", "1,8",
+                     "--apps", "MM", "--scale", "tiny", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "darsie.skip_ports" in out and "speedup" in out
+
+    def test_sweep_gpu_field_rebases_per_point(self, capsys):
+        assert main(["sweep", "gpu.l1_lines", "--values", "64,512",
+                     "--apps", "MM", "--scale", "tiny", "--no-cache"]) == 0
+        assert "gpu.l1_lines" in capsys.readouterr().out
+
+    def test_sweep_needs_values(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "darsie.skip_ports"])
+
+    def test_sweep_rejects_unknown_field(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "darsie.warp_speed", "--values", "1,2"])
+
+
+class TestConfigCheckSubcommand:
+    def test_committed_artifacts_validate(self, capsys):
+        assert main(["config-check"]) == 0
+        out = capsys.readouterr().out
+        assert "config-check: OK" in out
+        assert "BENCH_baseline_tiny.json" in out
+        assert "golden_tiny.json" in out
+
+    def test_list_shows_experiments_and_variants(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure8" in out and "DARSIE-SYNC-ON-WRITE" in out

@@ -281,3 +281,49 @@ class TestSpecPlumbing:
         assert parallel.last_sweep_stats() is stats
         assert "1 runs" in stats.render()
         assert "LIB/BASE@tiny" in stats.detail()
+
+
+class TestCanonicalCacheKeys:
+    """Cache keys are derived from the canonical RunConfig serialization:
+    they change iff the canonical form changes — in both directions."""
+
+    def test_key_unchanged_when_canonical_form_identical(self):
+        # gpu_config=None and an explicit copy of the default GPU are the
+        # same run: same canonical dict, same key.
+        implicit = RunSpec(abbr="LIB", config_name="BASE", scale="tiny")
+        explicit = RunSpec(abbr="LIB", config_name="BASE", scale="tiny",
+                           gpu_config=small_config(num_sms=1))
+        assert (implicit.to_run_config().canonical_json()
+                == explicit.to_run_config().canonical_json())
+        assert cache_key(implicit) == cache_key(explicit)
+
+    def test_key_changes_when_canonical_form_changes(self):
+        base = RunSpec(abbr="LIB", config_name="BASE", scale="tiny")
+        tweaked = base.with_overrides({"gpu.l1_lines": 512})
+        assert (base.to_run_config().canonical_json()
+                != tweaked.to_run_config().canonical_json())
+        assert cache_key(base) != cache_key(tweaked)
+
+    def test_explicit_darsie_defaults_are_a_different_run(self):
+        from repro.core import DarsieConfig
+
+        implicit = RunSpec(abbr="MM", config_name="DARSIE", scale="tiny")
+        explicit = RunSpec(abbr="MM", config_name="DARSIE", scale="tiny",
+                           darsie_config=DarsieConfig())
+        assert (implicit.to_run_config().canonical_json()
+                != explicit.to_run_config().canonical_json())
+        assert cache_key(implicit) != cache_key(explicit)
+
+    def test_spec_run_config_round_trip(self):
+        from repro.core import DarsieConfig
+
+        spec = RunSpec(abbr="MM", config_name="DARSIE-ports4", scale="tiny",
+                       gpu_config=small_config(num_sms=2),
+                       darsie_config=DarsieConfig(skip_ports=4))
+        assert RunSpec.from_run_config(spec.to_run_config()) == spec
+
+    def test_with_overrides_rejects_bad_path(self):
+        from repro.config import ConfigError
+
+        with pytest.raises(ConfigError, match="valid paths"):
+            SPEC.with_overrides({"nope.field": 1})

@@ -1,7 +1,9 @@
 """Unit tests for the GPU configuration and statistics containers."""
 
+import dataclasses
+from collections import Counter
 
-import numpy as np
+import pytest
 
 from repro import Dim3, GlobalMemory, LaunchConfig, assemble, simulate
 from repro.timing import EnergyEvent, PASCAL_GTX1080TI, SimStats, small_config
@@ -53,6 +55,37 @@ class TestStats:
         assert a.instructions_executed == 12
         assert a.skipped_by_class["uniform"] == 5
         assert a.energy_events[EnergyEvent.DECODE] == 10
+
+    def test_merge_covers_every_field(self):
+        """Every declared field participates in merge — a newly added
+        counter cannot be silently dropped from multi-SM aggregation."""
+        a, b = SimStats(), SimStats()
+        for f in dataclasses.fields(SimStats):
+            value = getattr(b, f.name)
+            if isinstance(value, Counter):
+                value["probe"] = 2
+            else:
+                setattr(b, f.name, 3)
+        a.merge(b)
+        for f in dataclasses.fields(SimStats):
+            merged = getattr(a, f.name)
+            if isinstance(merged, Counter):
+                assert merged["probe"] == 2, f.name
+            else:
+                assert merged == 3, f.name
+        # and merging again aggregates per the field's declared rule
+        a.merge(b)
+        assert a.cycles == 3                       # merge: max
+        assert a.instructions_executed == 6        # merge: sum
+        assert a.energy_events["probe"] == 4       # merge: Counter update
+
+    def test_merge_rejects_fields_without_a_rule(self):
+        @dataclasses.dataclass
+        class BadStats(SimStats):
+            note: str = ""
+
+        with pytest.raises(TypeError, match="note"):
+            BadStats().merge(BadStats())
 
 
 class TestMultiSMStats:
