@@ -14,6 +14,8 @@ Usage::
     python -m repro bench --scale small --out BENCH_timing.json
     python -m repro bench --scale tiny --baseline benchmarks/BENCH_baseline_tiny.json
     python -m repro config-check
+    python -m repro chaos --seed 0
+    python -m repro figure8 --timeout 120 --max-retries 2 --resume sweeps/fig8.jsonl
 
 Experiment names and their accepted arguments are derived from
 :data:`repro.harness.experiments.EXPERIMENT_REGISTRY` — a driver that
@@ -34,7 +36,8 @@ from repro.harness import parallel
 from repro.harness.experiments import EXPERIMENT_REGISTRY, ablation_sweep
 from repro.workloads import ALL_ABBRS
 
-COMMANDS = ["list", "all", "run", "sweep", "lint", "soundness", "bench", "config-check"]
+COMMANDS = ["list", "all", "run", "sweep", "lint", "soundness", "bench", "config-check",
+            "chaos"]
 
 
 def run_one(name: str, scale: str, abbrs, gpu_config=None, parser=None) -> None:
@@ -73,8 +76,8 @@ def main(argv=None) -> int:
                         help="for `run`: a Table 1 abbreviation, e.g. MM; "
                              "for `sweep`: a dotted config field, e.g. darsie.skip_ports; "
                              "for `lint`: comma-separated abbreviations (default: all)")
-    parser.add_argument("--scale", default="small", choices=["tiny", "small", "medium"],
-                        help="workload problem size (default: small)")
+    parser.add_argument("--scale", default=None, choices=["tiny", "small", "medium"],
+                        help="workload problem size (default: small; tiny for chaos)")
     parser.add_argument("--apps", default=None,
                         help="comma-separated Table 1 abbreviations (default: all)")
     parser.add_argument("--config", default="DARSIE",
@@ -110,14 +113,33 @@ def main(argv=None) -> int:
     parser.add_argument("--tolerance", type=float, default=None, metavar="X",
                         help="for `bench`: fail when more than X times slower "
                              "than the baseline (default: 2.0)")
+    parser.add_argument("--timeout", type=float, default=0.0, metavar="S",
+                        help="per-spec wall-clock timeout in seconds; needs "
+                             "--jobs > 1 to be enforceable (default: off)")
+    parser.add_argument("--max-retries", type=int, default=0, metavar="N",
+                        help="retry transient/timeout/crash failures up to N "
+                             "times per spec (default: 0)")
+    parser.add_argument("--resume", default=None, metavar="PATH",
+                        help="sweep journal: skip specs already completed in a "
+                             "previous (possibly killed) run, append new ones")
+    parser.add_argument("--seed", type=int, default=0, metavar="N",
+                        help="for `chaos`: fault-plan seed (default: 0)")
     args = parser.parse_args(argv)
+    if args.scale is None:
+        args.scale = "tiny" if args.experiment == "chaos" else "small"
 
     try:
         overrides = parse_overrides(args.overrides)
     except ConfigError as exc:
         parser.error(str(exc))
 
-    parallel.configure(jobs=args.jobs, use_cache=not args.no_cache)
+    parallel.configure(
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        timeout_s=args.timeout,
+        max_retries=args.max_retries,
+        resume=args.resume,
+    )
     if args.clear_cache:
         removed = parallel.clear_cache()
         print(f"[cache] removed {removed} cached result(s)")
@@ -139,6 +161,9 @@ def main(argv=None) -> int:
 
     if args.experiment == "config-check":
         return run_config_check(parser, args)
+
+    if args.experiment == "chaos":
+        return run_chaos(parser, args)
 
     if args.experiment == "list":
         return run_list()
@@ -240,6 +265,7 @@ def run_bench_cmd(parser, args, overrides) -> int:
         abbrs=abbrs,
         repeats=args.repeats,
         gpu_config=gpu_config,
+        max_retries=args.max_retries,
         progress=lambda e: print(
             f"  {e.abbr}/{e.config}: {e.wall_s_min:.3f}s ({e.cycles} cycles)",
             flush=True,
@@ -256,6 +282,24 @@ def run_bench_cmd(parser, args, overrides) -> int:
     outcome = bench.compare(report, baseline, tolerance=tolerance)
     print(outcome.render(tolerance))
     return 0 if outcome.ok else 1
+
+
+def run_chaos(parser, args) -> int:
+    """`python -m repro chaos [--seed N] [--scale S] [--apps ...] [--jobs N]`."""
+    from repro.harness.chaos import chaos_soak
+
+    abbrs = _resolve_abbrs(parser, args)
+    if args.apps is None and args.workload is None:
+        abbrs = None  # fall back to the chaos module's fast default matrix
+    start = time.perf_counter()
+    kwargs = {"seed": args.seed, "scale": args.scale,
+              "jobs": args.jobs if args.jobs > 1 else 2}
+    if abbrs is not None:
+        kwargs["abbrs"] = abbrs
+    report = chaos_soak(**kwargs)
+    print(report.render())
+    print(f"\n[chaos soak done in {time.perf_counter() - start:.1f}s]")
+    return 0 if report.ok else 1
 
 
 def run_config_check(parser, args) -> int:

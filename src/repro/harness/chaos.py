@@ -1,0 +1,235 @@
+"""Chaos soak: prove the sweep layer survives injected faults unchanged.
+
+``python -m repro chaos --seed N`` runs a small (workload × variant)
+sweep three times:
+
+1. **clean** — no faults, no cache: the reference results;
+2. **faulted** — under a seeded :func:`repro.harness.faults.random_plan`
+   that crashes one spec's worker on every attempt, hangs another into
+   its timeout, injects a transient and a permanent exception, corrupts
+   one spec's cache entry on write, and makes another's cache write
+   fail — with retries, timeout and quarantine enabled;
+3. **resume** — the same sweep again with ``--resume`` semantics against
+   the journal the faulted pass wrote, to prove completed specs are
+   skipped and the corrupted cache entry is detected and re-simulated.
+
+The soak then asserts the fault-tolerance contract:
+
+- zero unhandled exceptions (the sweep returns);
+- only the permanently-crashing spec is quarantined; the
+  permanently-raising spec fails without quarantine; everything else
+  completes;
+- every surviving spec's :class:`~repro.timing.SimStats`, cycle count
+  and energy are **bit-identical** to the clean reference — fault
+  handling may never change what a run computes;
+- the resume pass re-executes only the incomplete specs, verified via
+  the journal-skip / simulated / corrupt-read counters.
+
+Every deviation is collected into :class:`ChaosReport.problems` instead
+of raising, so a CI run prints the whole picture before failing.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.config import ExecPolicy
+from repro.harness import faults as faultlib
+from repro.harness.parallel import (
+    RunOutcome,
+    RunSpec,
+    SweepStats,
+    run_specs,
+    supports_fork,
+)
+
+#: Default chaos matrix: two fast kernels under three variants gives six
+#: specs — one per fault kind in :data:`repro.harness.faults.KINDS`.
+DEFAULT_ABBRS = ("LIB", "FWS")
+DEFAULT_CONFIGS = ("BASE", "UV", "DARSIE")
+
+
+@dataclass
+class ChaosReport:
+    """Everything a chaos soak observed, plus the verdict."""
+
+    seed: int
+    plan: faultlib.FaultPlan
+    clean_stats: SweepStats
+    fault_stats: SweepStats
+    resume_stats: SweepStats
+    problems: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def render(self) -> str:
+        lines = [self.plan.describe(), ""]
+        lines.append(f"clean : {self.clean_stats.render()}")
+        lines.append(f"fault : {self.fault_stats.render()}")
+        lines.append(f"resume: {self.resume_stats.render()}")
+        if self.fault_stats.quarantined:
+            lines.append(f"quarantined: {', '.join(self.fault_stats.quarantined)}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        lines.append("")
+        if self.problems:
+            lines.append(f"chaos soak FAILED ({len(self.problems)} problem(s)):")
+            lines.extend(f"  - {p}" for p in self.problems)
+        else:
+            lines.append("chaos soak OK: faults injected, stats bit-identical, "
+                         "resume skipped completed specs")
+        return "\n".join(lines)
+
+
+def _identical(a: RunOutcome, b: RunOutcome) -> bool:
+    """Bit-identical result contract for timing runs."""
+    ra, rb = a.result, b.result
+    if type(ra) is not type(rb):
+        return False
+    if hasattr(ra, "sim"):  # RunResult
+        return (
+            ra.cycles == rb.cycles
+            and ra.energy_pj == rb.energy_pj
+            and ra.sim.stats == rb.sim.stats
+        )
+    return ra == rb  # FunctionalResult dataclass equality
+
+
+def chaos_soak(
+    seed: int = 0,
+    scale: str = "tiny",
+    abbrs: Sequence[str] = DEFAULT_ABBRS,
+    configs: Sequence[str] = DEFAULT_CONFIGS,
+    jobs: int = 2,
+    cache_dir: Optional[str] = None,
+) -> ChaosReport:
+    """Run the three-pass soak; see the module docstring for the contract."""
+    specs = [
+        RunSpec(abbr=a, config_name=c, scale=scale)
+        for a in abbrs
+        for c in configs
+    ]
+    labels = [s.label for s in specs]
+    pooled = jobs > 1 and len(specs) > 1 and supports_fork()
+    # Under a pool a hang is cured by the wall-clock timeout killing the
+    # worker; serially nothing can preempt the sleep, so keep it short.
+    plan = faultlib.random_plan(labels, seed=seed, hang_s=8.0 if pooled else 0.2)
+    policy = ExecPolicy(
+        timeout_s=2.0 if pooled else 0.0,
+        max_retries=3,
+        backoff_base_s=0.0,
+        quarantine_after=2,
+    )
+
+    clean, clean_stats = run_specs(specs, jobs=jobs, use_cache=False, resume=False)
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        journal = os.path.join(tmp, "journal.jsonl")
+        with plan.active():
+            faulted, fault_stats = run_specs(
+                specs, jobs=jobs, use_cache=True, cache_dir=tmp,
+                policy=policy, resume=journal,
+            )
+            resumed, resume_stats = run_specs(
+                specs, jobs=jobs, use_cache=True, cache_dir=tmp,
+                policy=policy, resume=journal,
+            )
+
+    report = ChaosReport(
+        seed=seed,
+        plan=plan,
+        clean_stats=clean_stats,
+        fault_stats=fault_stats,
+        resume_stats=resume_stats,
+    )
+    problems = report.problems
+
+    crash_labels = set(plan.labels_for(faultlib.CRASH))
+    permanent_labels = set(plan.labels_for(faultlib.PERMANENT))
+    corrupt_labels = set(plan.labels_for(faultlib.CORRUPT_STORE))
+    oserror_labels = set(plan.labels_for(faultlib.STORE_OSERROR))
+    doomed = crash_labels | permanent_labels
+
+    for ref in clean:
+        if not ref.ok:
+            problems.append(f"clean run failed for {ref.spec.label}: {ref.error_type}")
+    if any(not o.ok for o in clean):
+        report.notes.append("clean run failed; skipping fault-pass comparisons")
+        return report
+
+    # --- faulted pass -----------------------------------------------------
+    if set(fault_stats.quarantined) != crash_labels:
+        problems.append(
+            f"quarantine mismatch: expected {sorted(crash_labels)}, "
+            f"got {sorted(fault_stats.quarantined)}"
+        )
+    for ref, out in zip(clean, faulted):
+        label = out.spec.label
+        if label in doomed:
+            if out.ok:
+                problems.append(f"{label} should have failed permanently but succeeded")
+            continue
+        if not out.ok:
+            problems.append(f"{label} failed under faults: {out.error_type}")
+        elif not _identical(ref, out):
+            problems.append(f"{label}: stats under faults differ from the clean run")
+    if oserror_labels and fault_stats.cache_write_failures < len(oserror_labels):
+        problems.append(
+            f"expected ≥{len(oserror_labels)} injected cache-write failure(s), "
+            f"got {fault_stats.cache_write_failures}"
+        )
+    if plan.labels_for(faultlib.TRANSIENT) and fault_stats.retries < 1:
+        problems.append("transient fault was injected but no retry was recorded")
+    if pooled:
+        if fault_stats.pool_restarts < 1:
+            problems.append("worker crashes were injected but the pool never restarted")
+        if plan.labels_for(faultlib.HANG) and fault_stats.timeouts < 1:
+            problems.append("a hang was injected but no timeout was recorded")
+
+    # --- resume pass ------------------------------------------------------
+    survivors = [o for o in faulted if o.ok]
+    # A survivor resumes from the journal unless its cached result is
+    # unavailable: the corrupt-store spec's entry is garbage (detected
+    # and re-simulated) and the store-oserror spec's entry was never
+    # written (legitimately re-executed).
+    unreadable = corrupt_labels | oserror_labels
+    resumable = [o for o in survivors if o.spec.label not in unreadable]
+    if resume_stats.journal_skips != len(resumable):
+        problems.append(
+            f"resume skipped {resume_stats.journal_skips} spec(s), "
+            f"expected {len(resumable)}"
+        )
+    corrupt_survivors = [o for o in survivors if o.spec.label in corrupt_labels]
+    if corrupt_survivors:
+        if resume_stats.cache_read_failures < len(corrupt_survivors):
+            problems.append(
+                "corrupted cache entry was not detected on resume "
+                f"(cache_read_failures={resume_stats.cache_read_failures})"
+            )
+    reexecuted = [o for o in survivors if o.spec.label in unreadable]
+    if reexecuted and resume_stats.simulated < len(reexecuted):
+        problems.append(
+            "specs with unreadable cache entries were not re-simulated on "
+            f"resume (simulated={resume_stats.simulated}, "
+            f"expected ≥{len(reexecuted)})"
+        )
+    for ref, out in zip(clean, resumed):
+        if out.spec.label in doomed:
+            continue
+        if not out.ok:
+            problems.append(f"{out.spec.label} failed on resume: {out.error_type}")
+        elif not _identical(ref, out):
+            problems.append(f"{out.spec.label}: resume stats differ from the clean run")
+
+    if not pooled:
+        report.notes.append(
+            "ran serially (no fork support or jobs=1): timeout/pool-restart "
+            "paths not exercised"
+        )
+    return report

@@ -1,4 +1,5 @@
-"""Parallel, cache-backed execution of (workload × configuration) runs.
+"""Parallel, cache-backed, fault-tolerant execution of (workload ×
+configuration) runs.
 
 Every DARSIE figure and ablation is a sweep over independent, pure,
 oracle-verified timing runs — ideal units for process-pool fan-out.
@@ -12,15 +13,37 @@ This module provides:
 - an on-disk result cache under ``results/.cache/`` keyed by a
   deterministic hash of the kernel program plus the run's canonical
   :class:`~repro.config.RunConfig` serialization (two specs share an
-  entry iff their canonical forms agree), invalidated by a cache
-  version *and* a
-  fingerprint of the simulator's own source code, so stale results can
-  never survive a change to the timing model;
-- graceful degradation — a worker crash or :class:`VerificationError`
-  in one run is captured and reported per-spec without aborting the
-  sweep, and execution falls back to serial when ``jobs == 1`` or the
-  platform lacks ``fork``;
-- per-run wall-time / cache-hit observability via :class:`SweepStats`.
+  entry iff their canonical forms agree — execution policy excluded),
+  invalidated by a cache version *and* a fingerprint of the simulator's
+  own source code, so stale results can never survive a change to the
+  timing model;
+- fault tolerance — per-spec wall-clock timeouts, bounded retries with
+  exponential backoff and decorrelated jitter for *retryable* failures
+  (transient exceptions, timeouts, hard worker deaths), automatic
+  rebuild of a broken process pool with quarantine of the suspected
+  poison spec, and a clean ``KeyboardInterrupt`` shutdown that cancels
+  futures, reaps workers and still flushes :func:`last_sweep_stats`;
+- resume — an append-only JSONL sweep journal (one line per landed
+  outcome, keyed by :func:`cache_key`) lets ``run_specs(resume=...)``
+  skip specs a killed sweep already completed;
+- per-run wall-time / cache-hit / retry / quarantine observability via
+  :class:`SweepStats`.
+
+The failure taxonomy (what retries, what doesn't):
+
+========== ==================================================== =========
+class      examples                                             retried?
+========== ==================================================== =========
+transient  :class:`~repro.harness.faults.TransientFault`,       yes
+           ``ConnectionResetError``, ``BrokenPipeError``
+timeout    per-spec wall-clock budget exceeded                  yes
+crash      hard worker death (``BrokenProcessPool``,            yes, until
+           :class:`~repro.harness.faults.WorkerCrashed`)        quarantine
+permanent  ``VerificationError``, ``KeyError``, everything else no
+========== ==================================================== =========
+
+All of it is provoked deterministically by the seeded fault-injection
+layer in :mod:`repro.harness.faults` (``python -m repro chaos``).
 
 The figure drivers in :mod:`repro.harness.experiments` are wired through
 :func:`sweep` / :func:`functional_sweep`; ``python -m repro --jobs N``
@@ -33,20 +56,35 @@ import hashlib
 import json
 import os
 import pickle
+import random
 import re
 import time
 import traceback
 import warnings
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import zlib
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from multiprocessing import get_all_start_methods, get_context
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.analysis import redundancy_levels, taxonomy_breakdown
 from repro.analysis.limit_study import LevelBreakdown
 from repro.analysis.taxonomy_study import TaxonomyBreakdown
-from repro.config import DEFAULT_GPU, RunConfig, apply_overrides
+from repro.config import DEFAULT_GPU, ExecPolicy, RunConfig, apply_overrides
 from repro.core import DarsieConfig
+from repro.harness import faults as faultlib
 from repro.harness.runner import RunResult, WorkloadRunner
 from repro.timing import GPUConfig
 from repro.workloads import build_workload
@@ -60,6 +98,20 @@ FUNCTIONAL = "FUNCTIONAL"
 
 #: Default cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = os.path.join("results", ".cache")
+
+#: error types classified *transient* (retryable without quarantine).
+TRANSIENT_ERROR_TYPES = {
+    "TransientFault",
+    "ConnectionResetError",
+    "BrokenPipeError",
+    "InterruptedError",
+}
+
+#: error types that mean the worker process itself died.
+CRASH_ERROR_TYPES = {"BrokenProcessPool", "WorkerCrashed"}
+
+#: error type recorded when a spec exceeds its wall-clock budget.
+TIMEOUT_ERROR_TYPE = "Timeout"
 
 
 # ---------------------------------------------------------------------------
@@ -82,6 +134,8 @@ class RunSpec:
     gpu_config: Optional[GPUConfig] = None
     #: explicit DARSIE knobs for ablation variants (e.g. ``DARSIE-ports4``)
     darsie_config: Optional[DarsieConfig] = None
+    #: per-spec execution policy; ``None`` defers to the sweep's policy
+    policy: Optional[ExecPolicy] = None
 
     @property
     def label(self) -> str:
@@ -96,6 +150,7 @@ class RunSpec:
             scale=self.scale,
             gpu=self.gpu_config or DEFAULT_GPU,
             darsie=self.darsie_config,
+            policy=self.policy or ExecPolicy(),
         )
 
     @classmethod
@@ -110,6 +165,7 @@ class RunSpec:
             scale=config.scale,
             gpu_config=config.gpu,
             darsie_config=config.darsie,
+            policy=config.policy if config.policy != ExecPolicy() else None,
         )
 
     def with_overrides(self, overrides: Mapping[str, object]) -> "RunSpec":
@@ -137,15 +193,35 @@ class RunOutcome:
     error_type: Optional[str] = None
     wall_time_s: float = 0.0
     cache_hit: bool = False
+    #: execution attempts consumed (1 = first try succeeded/failed)
+    attempts: int = 1
+    #: the spec was pulled from the rotation after repeated hard crashes
+    quarantined: bool = False
+    #: satisfied by the resume journal (plus the cache) of a prior sweep
+    resumed: bool = False
 
     @property
     def ok(self) -> bool:
         return self.error is None
 
+    def to_journal_dict(self, key: Optional[str] = None) -> dict:
+        """The spec's append-only journal line (no result payload — the
+        result itself lives in the cache under ``key``)."""
+        return {
+            "key": key,
+            "label": self.spec.label,
+            "ok": self.ok,
+            "error_type": self.error_type,
+            "attempts": self.attempts,
+            "quarantined": self.quarantined,
+            "cache_hit": self.cache_hit,
+            "wall_time_s": round(self.wall_time_s, 6),
+        }
+
 
 @dataclass
 class SweepStats:
-    """Observability for one sweep: cache behaviour and wall time."""
+    """Observability for one sweep: cache behaviour, faults, wall time."""
 
     runs: int = 0
     cache_hits: int = 0
@@ -154,9 +230,21 @@ class SweepStats:
     failures: int = 0
     #: cache entries that could not be written (read-only / full disk)
     cache_write_failures: int = 0
+    #: cache entries present on disk but unreadable (corruption)
+    cache_read_failures: int = 0
+    #: extra execution attempts consumed by retryable failures
+    retries: int = 0
+    #: specs that exceeded their wall-clock budget at least once
+    timeouts: int = 0
+    #: times the process pool was torn down and rebuilt
+    pool_restarts: int = 0
+    #: labels pulled from the rotation after repeated hard crashes
+    quarantined: List[str] = field(default_factory=list)
+    #: specs skipped because the resume journal marked them complete
+    journal_skips: int = 0
     wall_time_s: float = 0.0
     jobs: int = 1
-    #: (spec label, seconds, "hit" | "sim" | "fail") in spec order
+    #: (spec label, seconds, "hit" | "resume" | "sim" | "fail") in spec order
     per_run: List[Tuple[str, float, str]] = field(default_factory=list)
 
     def render(self) -> str:
@@ -165,15 +253,31 @@ class SweepStats:
             f" (jobs={self.jobs}): {self.simulated} simulated,"
             f" {self.cache_hits} cache hits, {self.failures} failures"
         )
+        if self.journal_skips:
+            text += f", {self.journal_skips} resumed from journal"
+        if self.retries:
+            text += f", {self.retries} retries"
+        if self.timeouts:
+            text += f", {self.timeouts} timeouts"
+        if self.pool_restarts:
+            text += f", {self.pool_restarts} pool restarts"
+        if self.quarantined:
+            text += f", {len(self.quarantined)} quarantined"
+        if self.cache_read_failures:
+            text += f", {self.cache_read_failures} corrupt cache reads"
         if self.cache_write_failures:
             text += f", {self.cache_write_failures} cache writes failed"
         return text
 
     def detail(self) -> str:
-        """Per-run wall times, slowest first."""
+        """Per-run wall times, slowest first, plus the quarantine list."""
         lines = [self.render()]
         for label, seconds, status in sorted(self.per_run, key=lambda r: -r[1]):
             lines.append(f"  {label:<28} {seconds:8.3f}s  {status}")
+        if self.quarantined:
+            lines.append("quarantined (repeated worker crashes):")
+            for label in self.quarantined:
+                lines.append(f"  {label}")
         return "\n".join(lines)
 
 
@@ -193,7 +297,14 @@ class SweepError(RuntimeError):
 # Defaults (set by the CLI / benchmark conftest)
 # ---------------------------------------------------------------------------
 
-_defaults = {"jobs": 1, "use_cache": True, "cache_dir": None}
+_defaults = {
+    "jobs": 1,
+    "use_cache": True,
+    "cache_dir": None,
+    "timeout_s": 0.0,
+    "max_retries": 0,
+    "resume": None,
+}
 
 _last_sweep: Optional[SweepStats] = None
 
@@ -202,6 +313,9 @@ def configure(
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
     cache_dir: Optional[str] = None,
+    timeout_s: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    resume: Optional[Union[bool, str]] = None,
 ) -> None:
     """Set process-wide defaults for subsequent sweeps."""
     if jobs is not None:
@@ -210,6 +324,12 @@ def configure(
         _defaults["use_cache"] = bool(use_cache)
     if cache_dir is not None:
         _defaults["cache_dir"] = cache_dir
+    if timeout_s is not None:
+        _defaults["timeout_s"] = max(0.0, float(timeout_s))
+    if max_retries is not None:
+        _defaults["max_retries"] = max(0, int(max_retries))
+    if resume is not None:
+        _defaults["resume"] = resume or None
 
 
 def default_jobs() -> int:
@@ -297,13 +417,17 @@ def cache_key(spec: RunSpec) -> str:
     The run itself is identified *only* by its canonical
     :class:`RunConfig` serialization: two specs share a key iff their
     canonical dicts are equal (plus the cache version and the code /
-    program fingerprints that scope every key).
+    program fingerprints that scope every key).  The execution policy is
+    stripped first — timeouts and retry budgets shape *how* a run
+    executes, never what it computes.
     """
+    run = spec.to_run_config().to_dict()
+    run.pop("policy", None)
     parts = {
         "cache_version": CACHE_VERSION,
         "code": code_fingerprint(),
         "program": _workload_fingerprint(spec.abbr, spec.scale),
-        "run": spec.to_run_config().to_dict(),
+        "run": run,
     }
     blob = json.dumps(parts, sort_keys=True)
     return hashlib.sha256(blob.encode()).hexdigest()
@@ -314,19 +438,30 @@ def cache_path(spec: RunSpec, key: str, cache_dir: str) -> str:
     return os.path.join(cache_dir, f"{slug}-{key[:16]}.pkl")
 
 
-def _cache_load(path: str, key: str):
-    """A cached result, or None on miss / version skew / corruption."""
+def _cache_load(path: str, key: str) -> Tuple[Optional[object], str]:
+    """``(result, status)`` with status ``"hit"``, ``"miss"`` or
+    ``"corrupt"``.
+
+    A missing file or a key mismatch (version skew, foreign entry) is a
+    plain miss; a file that exists but cannot be unpickled is corruption
+    and is reported so the sweep can count and warn about it.  Only the
+    open/unpickle step is guarded — and only with the exception types
+    unpickling garbage is documented to raise — so programming errors in
+    our own payload handling are never masked.
+    """
     try:
         with open(path, "rb") as fh:
             payload = pickle.load(fh)
-        if not isinstance(payload, dict) or payload.get("key") != key:
-            return None
-        return payload["result"]
+    except (FileNotFoundError, NotADirectoryError):
+        return None, "miss"  # no entry (possibly no cache dir at all)
     except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-            ImportError, IndexError, KeyError, ValueError):
-        # Missing, truncated or otherwise corrupted entry: treat as a
-        # miss and fall back to a live run (which rewrites the entry).
-        return None
+            ImportError, IndexError):
+        return None, "corrupt"
+    if not isinstance(payload, dict) or "result" not in payload:
+        return None, "corrupt"
+    if payload.get("key") != key:
+        return None, "miss"
+    return payload["result"], "hit"
 
 
 #: temp-file suffix pattern used by :func:`_cache_store`'s atomic writes
@@ -336,18 +471,23 @@ _TMP_RE = re.compile(r"\.pkl\.tmp\.\d+$")
 STALE_TMP_AGE_S = 3600.0
 
 
-def _cache_store(path: str, key: str, result) -> bool:
+def _cache_store(path: str, key: str, result, label: Optional[str] = None) -> bool:
     """Write one cache entry atomically; returns False on failure.
 
     Caching is best-effort — the run itself already succeeded — but
     failures are reported to the caller so a read-only or full cache
     directory does not silently degrade every sweep to 0% hit rate.
     """
+    if label is not None and faultlib.fails_store(label):
+        return False  # injected OSError semantics
     tmp = f"{path}.tmp.{os.getpid()}"
     try:
         os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = pickle.dumps({"key": key, "result": result})
+        if label is not None and faultlib.corrupts_store(label):
+            payload = faultlib.CORRUPT_BYTES  # injected silent corruption
         with open(tmp, "wb") as fh:
-            pickle.dump({"key": key, "result": result}, fh)
+            fh.write(payload)
         os.replace(tmp, path)  # atomic: concurrent sweeps never see partial files
         return True
     except OSError:
@@ -400,6 +540,50 @@ def clear_cache(cache_dir: Optional[str] = None) -> int:
 
 
 # ---------------------------------------------------------------------------
+# Resume journal
+# ---------------------------------------------------------------------------
+
+
+def load_journal(path: str) -> Dict[str, dict]:
+    """Parse an append-only sweep journal into ``{cache key: last entry}``.
+
+    Unreadable lines (a kill can truncate the final line mid-write) are
+    skipped — a journal is an optimization, never a source of truth; the
+    result payloads themselves live in the cache.
+    """
+    entries: Dict[str, dict] = {}
+    try:
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue
+                key = entry.get("key") if isinstance(entry, dict) else None
+                if key:
+                    entries[key] = entry
+    except OSError:
+        return {}
+    return entries
+
+
+def append_journal(path: str, entry: dict) -> bool:
+    """Append one outcome line; best-effort, returns False on failure."""
+    try:
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "a") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        return True
+    except OSError:
+        return False
+
+
+# ---------------------------------------------------------------------------
 # Worker entrypoint
 # ---------------------------------------------------------------------------
 
@@ -421,10 +605,15 @@ def _execute_spec(spec: RunSpec) -> Union[RunResult, FunctionalResult]:
     return runner.run(spec.config_name, spec.darsie_config)
 
 
-def _worker(spec: RunSpec) -> tuple:
-    """Run one spec, capturing any failure as data (never raises)."""
+def _worker(spec: RunSpec, attempt: int = 1, in_child: bool = False) -> tuple:
+    """Run one spec, capturing any failure as data (never raises).
+
+    An injected ``crash`` fault is the exception to "never raises": in a
+    pool worker it is a genuine ``os._exit``, which no ``except`` sees.
+    """
     start = time.perf_counter()
     try:
+        faultlib.before_execute(spec.label, attempt, in_child=in_child)
         result = _execute_spec(spec)
         return ("ok", result, time.perf_counter() - start)
     except Exception as exc:
@@ -436,13 +625,14 @@ def _worker(spec: RunSpec) -> tuple:
         )
 
 
-def _outcome_from_payload(spec: RunSpec, payload: tuple) -> RunOutcome:
+def _outcome_from_payload(spec: RunSpec, payload: tuple, attempts: int = 1) -> RunOutcome:
     if payload[0] == "ok":
         _, result, elapsed = payload
-        return RunOutcome(spec=spec, result=result, wall_time_s=elapsed)
+        return RunOutcome(spec=spec, result=result, wall_time_s=elapsed, attempts=attempts)
     _, error_type, error, elapsed = payload
     return RunOutcome(
-        spec=spec, result=None, error=error, error_type=error_type, wall_time_s=elapsed
+        spec=spec, result=None, error=error, error_type=error_type,
+        wall_time_s=elapsed, attempts=attempts,
     )
 
 
@@ -451,77 +641,387 @@ def _outcome_from_payload(spec: RunSpec, payload: tuple) -> RunOutcome:
 # ---------------------------------------------------------------------------
 
 
+@dataclass
+class _Attempt:
+    """Mutable scheduling state of one pending spec."""
+
+    index: int
+    spec: RunSpec
+    key: Optional[str]
+    path: Optional[str]
+    policy: ExecPolicy
+    attempt: int = 1
+    #: hard worker deaths attributed to this spec (quarantine counter)
+    crashes: int = 0
+    #: the spec crashed or hung before — schedule it alone so a repeat
+    #: offense cannot take innocent co-flying specs down with it
+    suspect: bool = False
+    #: earliest monotonic time the next attempt may be submitted
+    not_before: float = 0.0
+    #: previous backoff delay (decorrelated-jitter state)
+    backoff_s: float = 0.0
+    timed_out: bool = False
+
+
+def _failure_class(error_type: Optional[str]) -> str:
+    if error_type == TIMEOUT_ERROR_TYPE:
+        return "timeout"
+    if error_type in CRASH_ERROR_TYPES:
+        return "crash"
+    if error_type in TRANSIENT_ERROR_TYPES:
+        return "transient"
+    return "permanent"
+
+
+def _backoff_delay(item: _Attempt) -> float:
+    """Exponential backoff with decorrelated jitter, deterministically
+    seeded from (label, attempt) so sweeps stay reproducible."""
+    base = item.policy.backoff_base_s
+    if base <= 0.0:
+        return 0.0
+    rng = random.Random(zlib.crc32(f"{item.spec.label}#{item.attempt}".encode()))
+    prev = item.backoff_s or base
+    delay = min(item.policy.backoff_cap_s, rng.uniform(base, max(base, prev * 3.0)))
+    item.backoff_s = delay
+    return delay
+
+
+def _dispose_failure(
+    item: _Attempt,
+    outcome: RunOutcome,
+    stats: SweepStats,
+    record: Callable[[_Attempt, RunOutcome], None],
+) -> bool:
+    """Handle one failed attempt: retry (True) or record it (False)."""
+    kind = _failure_class(outcome.error_type)
+    if kind == "crash":
+        item.crashes += 1
+        item.suspect = True
+        if item.crashes >= item.policy.quarantine_after:
+            outcome.quarantined = True
+            stats.quarantined.append(item.spec.label)
+            record(item, outcome)
+            return False
+    elif kind == "timeout":
+        item.suspect = True
+        if not item.timed_out:
+            item.timed_out = True
+            stats.timeouts += 1
+    elif kind == "permanent":
+        record(item, outcome)
+        return False
+    if item.attempt > item.policy.max_retries:
+        record(item, outcome)
+        return False
+    delay = _backoff_delay(item)
+    item.attempt += 1
+    item.not_before = time.monotonic() + delay
+    stats.retries += 1
+    return True
+
+
+def _run_serial(
+    pending: Sequence[_Attempt],
+    stats: SweepStats,
+    record: Callable[[_Attempt, RunOutcome], None],
+) -> None:
+    """In-process execution with the same retry/quarantine taxonomy.
+
+    Wall-clock timeouts are not enforced here — a single process cannot
+    preempt its own simulation; injected crashes surface as
+    :class:`~repro.harness.faults.WorkerCrashed` instead of killing the
+    sweep.
+    """
+    for item in pending:
+        while True:
+            payload = _worker(item.spec, item.attempt, in_child=False)
+            outcome = _outcome_from_payload(item.spec, payload, attempts=item.attempt)
+            if outcome.ok:
+                record(item, outcome)
+                break
+            if not _dispose_failure(item, outcome, stats, record):
+                break
+            wait_s = item.not_before - time.monotonic()
+            if wait_s > 0:
+                time.sleep(wait_s)
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down *now*: cancel queued work, kill live workers.
+
+    ``shutdown`` alone would block on a hung worker; reaching into
+    ``_processes`` is the only way the stdlib exposes the worker PIDs,
+    so the access is defensive.
+    """
+    processes = list(getattr(pool, "_processes", {}).values() or [])
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+    for proc in processes:
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+
+
+def _run_pool(
+    pending: Sequence[_Attempt],
+    jobs: int,
+    stats: SweepStats,
+    record: Callable[[_Attempt, RunOutcome], None],
+) -> None:
+    """Process-pool execution with timeouts, retries and pool recovery.
+
+    The scheduler keeps a work deque and an in-flight map.  Three fault
+    paths reshape it:
+
+    - a future that raises ``BrokenProcessPool`` means a worker died
+      hard; every in-flight spec is a *suspect* (the stdlib cannot say
+      which one killed the pool), so each gets a crash strike and is
+      resubmitted **alone** — the true poison spec crashes again solo,
+      collects strikes until quarantine, and the innocents fly clean;
+    - a future that outlives its spec's wall-clock budget is recorded
+      (or retried) as ``Timeout``; the hung worker cannot be cancelled,
+      so the pool is torn down and rebuilt and the other in-flight specs
+      are resubmitted without consuming one of their attempts;
+    - ``KeyboardInterrupt`` propagates, and the ``finally`` cancels
+      queued futures and terminates workers so nothing leaks.
+    """
+    ctx = get_context("fork")
+    width = min(jobs, len(pending))
+
+    def new_pool() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=width, mp_context=ctx)
+
+    pool = new_pool()
+    queue: deque = deque(pending)
+    # future -> (item, deadline, pool it was submitted to).  The pool
+    # reference distinguishes a *fresh* break from the echo of an old
+    # one: when a pool dies, every future it held surfaces
+    # BrokenProcessPool, and only the first such future per pool should
+    # trigger a rebuild.
+    inflight: Dict[object, Tuple[_Attempt, Optional[float], ProcessPoolExecutor]] = {}
+
+    def submittable() -> Optional[_Attempt]:
+        now = time.monotonic()
+        if any(it.suspect for it, _dl, _p in inflight.values()):
+            return None  # a suspect flies alone
+        for item in queue:
+            if item.not_before > now:
+                continue
+            if item.suspect and inflight:
+                continue
+            return item
+        return None
+
+    def submit(item: _Attempt) -> None:
+        queue.remove(item)
+        deadline = None
+        if item.policy.timeout_s > 0:
+            deadline = time.monotonic() + item.policy.timeout_s
+        future = pool.submit(_worker, item.spec, item.attempt, True)
+        inflight[future] = (item, deadline, pool)
+
+    def requeue(item: _Attempt) -> None:
+        queue.appendleft(item)
+
+    def rebuild() -> None:
+        nonlocal pool
+        _terminate_pool(pool)
+        pool = new_pool()
+        stats.pool_restarts += 1
+
+    try:
+        while queue or inflight:
+            item = submittable()
+            while item is not None and len(inflight) < width:
+                submit(item)
+                item = submittable()
+
+            if not inflight:
+                # Everything runnable is backing off; sleep to the
+                # earliest not-before and try again.
+                now = time.monotonic()
+                wait_s = min((it.not_before for it in queue), default=now) - now
+                if wait_s > 0:
+                    time.sleep(min(wait_s, 0.5))
+                continue
+
+            now = time.monotonic()
+            horizons = [dl for _it, dl, _p in inflight.values() if dl is not None]
+            horizons += [it.not_before for it in queue if it.not_before > now]
+            wait_s = None
+            if horizons:
+                wait_s = max(0.01, min(horizons) - now)
+            done, _ = futures_wait(
+                set(inflight), timeout=wait_s, return_when=FIRST_COMPLETED
+            )
+
+            broken = False
+            for future in done:
+                entry = inflight.pop(future, None)
+                if entry is None:
+                    continue
+                item, _deadline, future_pool = entry
+                try:
+                    payload = future.result()
+                except Exception as exc:
+                    # The child died hard (segfault, OOM kill, os._exit):
+                    # synthesize a crash payload and let the retry /
+                    # quarantine taxonomy dispose of it.
+                    if isinstance(exc, BrokenProcessPool) and future_pool is pool:
+                        broken = True
+                    payload = (
+                        "err",
+                        type(exc).__name__,
+                        f"worker process died: {exc!r}",
+                        0.0,
+                    )
+                outcome = _outcome_from_payload(item.spec, payload, attempts=item.attempt)
+                if outcome.ok:
+                    record(item, outcome)
+                elif _dispose_failure(item, outcome, stats, record):
+                    requeue(item)
+            if broken:
+                # The executor is unusable after a hard death; any
+                # still-inflight futures of the dead pool are already
+                # done (the break fails them all) and drain on the next
+                # pass without re-triggering a rebuild.
+                rebuild()
+
+            # Wall-clock budgets: a hung worker cannot be cancelled, so
+            # a deadline breach costs the whole pool — kill it, rebuild,
+            # and resubmit the innocent in-flight specs as-is.
+            now = time.monotonic()
+            overdue = [
+                (future, item)
+                for future, (item, deadline, _p) in inflight.items()
+                if deadline is not None and now > deadline and not future.done()
+            ]
+            if overdue:
+                overdue_futures = {future for future, _ in overdue}
+                survivors = [
+                    item
+                    for future, (item, _dl, _p) in inflight.items()
+                    if future not in overdue_futures
+                ]
+                inflight.clear()
+                rebuild()
+                for future, item in overdue:
+                    outcome = RunOutcome(
+                        spec=item.spec,
+                        result=None,
+                        error=(
+                            f"run exceeded its wall-clock budget of "
+                            f"{item.policy.timeout_s:.1f}s (attempt {item.attempt})"
+                        ),
+                        error_type=TIMEOUT_ERROR_TYPE,
+                        wall_time_s=item.policy.timeout_s,
+                        attempts=item.attempt,
+                    )
+                    if _dispose_failure(item, outcome, stats, record):
+                        requeue(item)
+                for item in survivors:
+                    requeue(item)  # same attempt: their work was collateral
+    finally:
+        _terminate_pool(pool)
+
+
 def run_specs(
     specs: Sequence[RunSpec],
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
     cache_dir: Optional[str] = None,
     strict: bool = False,
+    policy: Optional[ExecPolicy] = None,
+    resume: Optional[Union[bool, str]] = None,
 ) -> Tuple[List[RunOutcome], SweepStats]:
     """Execute specs across a process pool, consulting the result cache.
 
     Returns outcomes in spec order plus a :class:`SweepStats`.  With
     ``strict=True`` a :class:`SweepError` is raised *after* every spec
     has been attempted, so one failure never hides the others' results.
+
+    ``policy`` supplies the sweep-wide :class:`ExecPolicy` (per-spec
+    ``RunSpec.policy`` wins where set); ``resume`` names the append-only
+    JSONL journal — outcomes are appended as they land, and specs whose
+    last journal line is ``ok`` (and whose cached result is readable)
+    are skipped.  ``resume=False`` disables the module-default journal
+    for this sweep.
+
+    A ``KeyboardInterrupt`` mid-sweep cancels queued work, terminates
+    pool workers, and still flushes partial stats to
+    :func:`last_sweep_stats` before propagating.
     """
     global _last_sweep
     jobs = max(1, int(jobs if jobs is not None else _defaults["jobs"]))
     caching = bool(_defaults["use_cache"] if use_cache is None else use_cache)
     directory = resolve_cache_dir(cache_dir)
+    # .get(): tests monkeypatch _defaults with minimal dicts.
+    resume_path = resume if resume is not None else _defaults.get("resume")
+    resume_path = resume_path if isinstance(resume_path, str) and resume_path else None
+    base_policy = policy or ExecPolicy(
+        timeout_s=float(_defaults.get("timeout_s", 0.0)),
+        max_retries=int(_defaults.get("max_retries", 0)),
+    )
+    journal = load_journal(resume_path) if resume_path else {}
 
     start = time.perf_counter()
     outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
-    pending: List[Tuple[int, RunSpec, Optional[str], Optional[str]]] = []
-
-    for i, spec in enumerate(specs):
-        if caching:
-            key = cache_key(spec)
-            path = cache_path(spec, key, directory)
-            cached = _cache_load(path, key)
-            if cached is not None:
-                outcomes[i] = RunOutcome(spec=spec, result=cached, cache_hit=True)
-                continue
-            pending.append((i, spec, key, path))
-        else:
-            pending.append((i, spec, None, None))
-
-    parallel_ok = jobs > 1 and len(pending) > 1 and supports_fork()
-    if parallel_ok:
-        ctx = get_context("fork")
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(pending)), mp_context=ctx
-        ) as pool:
-            futures = {
-                pool.submit(_worker, spec): (i, spec) for i, spec, _, _ in pending
-            }
-            for future in as_completed(futures):
-                i, spec = futures[future]
-                try:
-                    payload = future.result()
-                except Exception as exc:
-                    # BrokenProcessPool and friends: the child died hard
-                    # (segfault, OOM kill).  Record it against this spec
-                    # and keep draining the rest of the sweep.
-                    outcomes[i] = RunOutcome(
-                        spec=spec,
-                        result=None,
-                        error=f"worker process died: {exc!r}",
-                        error_type=type(exc).__name__,
-                    )
-                else:
-                    outcomes[i] = _outcome_from_payload(spec, payload)
-    else:
-        for i, spec, _, _ in pending:
-            outcomes[i] = _outcome_from_payload(spec, _worker(spec))
-
+    stats = SweepStats(jobs=jobs)
+    pending: List[_Attempt] = []
     write_failures = 0
+
+    def record(item: _Attempt, outcome: RunOutcome) -> None:
+        nonlocal write_failures
+        if outcome.ok and not outcome.cache_hit and caching and item.path:
+            if not _cache_store(item.path, item.key, outcome.result, item.spec.label):
+                write_failures += 1
+        outcomes[item.index] = outcome
+        if resume_path:
+            # Journal *after* the cache store: a journal line saying
+            # "ok" must imply the result is already on disk.
+            append_journal(resume_path, outcome.to_journal_dict(item.key))
+
     if caching:
         reap_stale_tmp(directory)
-        for i, _spec, key, path in pending:
-            outcome = outcomes[i]
-            if outcome is not None and outcome.ok:
-                if not _cache_store(path, key, outcome.result):
-                    write_failures += 1
+
+    for i, spec in enumerate(specs):
+        key = cache_key(spec) if (caching or resume_path) else None
+        path = cache_path(spec, key, directory) if caching else None
+        cached = None
+        if caching:
+            cached, status = _cache_load(path, key)
+            if status == "corrupt":
+                stats.cache_read_failures += 1
+        item = _Attempt(index=i, spec=spec, key=key, path=path,
+                        policy=spec.policy or base_policy)
+        if cached is not None:
+            entry = journal.get(key) if key else None
+            resumed = bool(entry and entry.get("ok"))
+            outcome = RunOutcome(spec=spec, result=cached, cache_hit=True, resumed=resumed)
+            record(item, outcome)
+            continue
+        pending.append(item)
+
+    parallel_ok = jobs > 1 and len(pending) > 1 and supports_fork()
+    try:
+        if parallel_ok:
+            _run_pool(pending, jobs, stats, record)
+        else:
+            _run_serial(pending, stats, record)
+    finally:
+        # Flush observability even when interrupted mid-sweep: partial
+        # stats are what a resumed invocation reasons about.
+        if stats.cache_read_failures:
+            n = stats.cache_read_failures
+            warnings.warn(
+                f"result cache in {directory!r} had {n} corrupt "
+                f"entr{'y' if n == 1 else 'ies'} (re-simulated; entries rewritten)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         if write_failures:
             warnings.warn(
                 f"result cache in {directory!r} is not writable: "
@@ -530,27 +1030,30 @@ def run_specs(
                 RuntimeWarning,
                 stacklevel=2,
             )
-
-    final: List[RunOutcome] = [o for o in outcomes if o is not None]
-    stats = SweepStats(
-        runs=len(final),
-        cache_hits=sum(1 for o in final if o.cache_hit),
-        simulated=sum(1 for o in final if o.ok and not o.cache_hit),
-        failures=sum(1 for o in final if not o.ok),
-        cache_write_failures=write_failures,
-        wall_time_s=time.perf_counter() - start,
-        jobs=jobs if parallel_ok else 1,
-        per_run=[
-            (o.spec.label, o.wall_time_s, "hit" if o.cache_hit else ("sim" if o.ok else "fail"))
+        final = [o for o in outcomes if o is not None]
+        stats.runs = len(final)
+        stats.cache_hits = sum(1 for o in final if o.cache_hit)
+        stats.simulated = sum(1 for o in final if o.ok and not o.cache_hit)
+        stats.failures = sum(1 for o in final if not o.ok)
+        stats.cache_write_failures = write_failures
+        stats.journal_skips = sum(1 for o in final if o.resumed)
+        stats.wall_time_s = time.perf_counter() - start
+        stats.jobs = jobs if parallel_ok else 1
+        stats.per_run = [
+            (
+                o.spec.label,
+                o.wall_time_s,
+                ("resume" if o.resumed else "hit") if o.cache_hit
+                else ("sim" if o.ok else "fail"),
+            )
             for o in final
-        ],
-    )
-    _last_sweep = stats
+        ]
+        _last_sweep = stats
 
     if strict:
-        failures = [o for o in final if not o.ok]
-        if failures:
-            raise SweepError(failures)
+        failing = [o for o in final if not o.ok]
+        if failing:
+            raise SweepError(failing)
     return final, stats
 
 
@@ -562,6 +1065,8 @@ def sweep(
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
     strict: bool = True,
+    policy: Optional[ExecPolicy] = None,
+    resume: Optional[Union[bool, str]] = None,
 ) -> Tuple[Dict[Tuple[str, str], RunResult], SweepStats]:
     """Fan out the (workload × configuration) grid; returns keyed results."""
     specs = [
@@ -569,7 +1074,10 @@ def sweep(
         for a in abbrs
         for c in configs
     ]
-    outcomes, stats = run_specs(specs, jobs=jobs, use_cache=use_cache, strict=strict)
+    outcomes, stats = run_specs(
+        specs, jobs=jobs, use_cache=use_cache, strict=strict,
+        policy=policy, resume=resume,
+    )
     results = {
         (o.spec.abbr, o.spec.config_name): o.result for o in outcomes if o.ok
     }
@@ -582,8 +1090,13 @@ def functional_sweep(
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
     strict: bool = True,
+    policy: Optional[ExecPolicy] = None,
+    resume: Optional[Union[bool, str]] = None,
 ) -> Tuple[Dict[str, FunctionalResult], SweepStats]:
     """Fan out the functional-trace analyses behind Figures 1 and 2."""
     specs = [RunSpec(abbr=a, config_name=FUNCTIONAL, scale=scale) for a in abbrs]
-    outcomes, stats = run_specs(specs, jobs=jobs, use_cache=use_cache, strict=strict)
+    outcomes, stats = run_specs(
+        specs, jobs=jobs, use_cache=use_cache, strict=strict,
+        policy=policy, resume=resume,
+    )
     return {o.spec.abbr: o.result for o in outcomes if o.ok}, stats

@@ -69,13 +69,16 @@ class TestCache:
         with open(path, "wb") as fh:
             fh.write(b"\x00garbage, not a pickle")
 
-        outcome, stats = run_one(SPEC, cache_dir=cache_dir, use_cache=True)
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            outcome, stats = run_one(SPEC, cache_dir=cache_dir, use_cache=True)
         assert outcome.ok and not outcome.cache_hit
         assert stats.simulated == 1
+        assert stats.cache_read_failures == 1  # counted, not swallowed
         assert outcome.result.cycles == first.result.cycles
         # The live run repaired the entry.
-        hit, _ = run_one(SPEC, cache_dir=cache_dir, use_cache=True)
+        hit, stats2 = run_one(SPEC, cache_dir=cache_dir, use_cache=True)
         assert hit.cache_hit
+        assert stats2.cache_read_failures == 0
 
     def test_wrong_key_payload_is_a_miss(self, cache_dir):
         run_one(SPEC, cache_dir=cache_dir, use_cache=True)
@@ -327,3 +330,144 @@ class TestCanonicalCacheKeys:
 
         with pytest.raises(ConfigError, match="valid paths"):
             SPEC.with_overrides({"nope.field": 1})
+
+    def test_policy_is_excluded_from_the_cache_key(self):
+        from repro.config import ExecPolicy
+
+        plain = RunSpec(abbr="LIB", config_name="BASE", scale="tiny")
+        budgeted = RunSpec(abbr="LIB", config_name="BASE", scale="tiny",
+                           policy=ExecPolicy(timeout_s=60.0, max_retries=3))
+        # The canonical forms differ (policy is a real config field) ...
+        assert (plain.to_run_config().canonical_json()
+                != budgeted.to_run_config().canonical_json())
+        # ... but the key does not: a timeout never changes the result.
+        assert cache_key(plain) == cache_key(budgeted)
+
+
+def _fail(label_idx, error_type="VerificationError"):
+    from repro.harness.parallel import RunOutcome
+
+    spec = RunSpec(abbr="MM", config_name=f"VARIANT-{label_idx}", scale="tiny")
+    return RunOutcome(spec=spec, result=None, error="boom", error_type=error_type)
+
+
+class TestSweepErrorMessage:
+    def test_five_or_fewer_failures_are_listed_in_full(self):
+        err = SweepError([_fail(i) for i in range(5)])
+        message = str(err)
+        assert message.startswith("5 run(s) failed")
+        assert "more)" not in message
+        for i in range(5):
+            assert f"MM/VARIANT-{i}@tiny" in message
+
+    def test_overflow_failures_are_truncated_with_a_count(self):
+        err = SweepError([_fail(i) for i in range(7)])
+        message = str(err)
+        assert message.startswith("7 run(s) failed")
+        assert "(+2 more)" in message
+        assert "MM/VARIANT-4@tiny" in message
+        assert "MM/VARIANT-5@tiny" not in message
+        assert len(err.failures) == 7  # the full list still rides along
+
+
+class TestJournal:
+    def test_outcome_round_trips_through_the_journal(self, tmp_path):
+        from repro.harness.parallel import (
+            RunOutcome,
+            append_journal,
+            load_journal,
+        )
+
+        path = str(tmp_path / "sweep.jsonl")
+        ok = RunOutcome(spec=SPEC, result="unused", wall_time_s=1.25, attempts=2)
+        bad = RunOutcome(spec=SPEC, result=None, error="boom",
+                         error_type="Timeout", quarantined=True)
+        assert append_journal(path, ok.to_journal_dict("key-1"))
+        assert append_journal(path, bad.to_journal_dict("key-2"))
+        entries = load_journal(path)
+        assert entries["key-1"]["ok"] is True
+        assert entries["key-1"]["error_type"] is None
+        assert entries["key-1"]["attempts"] == 2
+        assert entries["key-1"]["wall_time_s"] == 1.25
+        assert entries["key-2"]["ok"] is False
+        assert entries["key-2"]["error_type"] == "Timeout"
+        assert entries["key-2"]["quarantined"] is True
+        assert entries["key-1"]["label"] == SPEC.label
+
+    def test_last_entry_wins_and_truncated_lines_are_skipped(self, tmp_path):
+        from repro.harness.parallel import RunOutcome, append_journal, load_journal
+
+        path = str(tmp_path / "sweep.jsonl")
+        fail = RunOutcome(spec=SPEC, result=None, error="x", error_type="KeyError")
+        ok = RunOutcome(spec=SPEC, result="unused")
+        append_journal(path, fail.to_journal_dict("key-1"))
+        append_journal(path, ok.to_journal_dict("key-1"))
+        with open(path, "a") as fh:
+            fh.write('{"key": "key-2", "ok": tr')  # kill mid-write
+        entries = load_journal(path)
+        assert entries["key-1"]["ok"] is True
+        assert "key-2" not in entries
+
+    def test_missing_journal_is_empty(self, tmp_path):
+        from repro.harness.parallel import load_journal
+
+        assert load_journal(str(tmp_path / "nope.jsonl")) == {}
+
+
+class TestResume:
+    def test_resume_skips_completed_specs(self, cache_dir, tmp_path):
+        journal = str(tmp_path / "sweep.jsonl")
+        done = [
+            RunSpec(abbr="LIB", config_name="BASE", scale="tiny"),
+            RunSpec(abbr="FWS", config_name="BASE", scale="tiny"),
+        ]
+        rest = [
+            RunSpec(abbr="LIB", config_name="UV", scale="tiny"),
+            RunSpec(abbr="FWS", config_name="UV", scale="tiny"),
+        ]
+        # "Killed" sweep: only half the specs completed.
+        _, stats1 = run_specs(done, cache_dir=cache_dir, use_cache=True,
+                              resume=journal)
+        assert stats1.simulated == 2 and stats1.journal_skips == 0
+
+        outcomes, stats2 = run_specs(done + rest, cache_dir=cache_dir,
+                                     use_cache=True, resume=journal)
+        assert all(o.ok for o in outcomes)
+        assert stats2.journal_skips == 2
+        assert stats2.simulated == 2  # only the incomplete specs re-ran
+        assert [o.resumed for o in outcomes] == [True, True, False, False]
+        statuses = dict((label, status) for label, _, status in stats2.per_run)
+        assert statuses["LIB/BASE@tiny"] == "resume"
+        assert statuses["LIB/UV@tiny"] == "sim"
+        assert "2 resumed from journal" in stats2.render()
+
+    def test_resume_false_disables_the_module_default(self, cache_dir, tmp_path,
+                                                      monkeypatch):
+        journal = str(tmp_path / "sweep.jsonl")
+        monkeypatch.setitem(parallel._defaults, "resume", journal)
+        _, stats = run_one(SPEC, cache_dir=cache_dir, use_cache=True, resume=False)
+        assert stats.journal_skips == 0
+        assert not (tmp_path / "sweep.jsonl").exists()
+
+
+class TestKeyboardInterrupt:
+    def test_interrupt_still_flushes_partial_stats(self, monkeypatch):
+        real_worker = parallel._worker
+
+        def interrupting(spec, attempt=1, in_child=False):
+            if spec.abbr == "FWS":
+                raise KeyboardInterrupt()
+            return real_worker(spec, attempt, in_child=in_child)
+
+        monkeypatch.setattr(parallel, "_worker", interrupting)
+        specs = [
+            RunSpec(abbr="LIB", config_name="BASE", scale="tiny"),
+            RunSpec(abbr="FWS", config_name="BASE", scale="tiny"),
+            RunSpec(abbr="MM", config_name="BASE", scale="tiny"),
+        ]
+        with pytest.raises(KeyboardInterrupt):
+            run_specs(specs, jobs=1, use_cache=False)
+        stats = parallel.last_sweep_stats()
+        assert stats is not None
+        assert stats.runs == 1  # the spec that landed before the interrupt
+        assert [label for label, _, _ in stats.per_run] == ["LIB/BASE@tiny"]
