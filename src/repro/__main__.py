@@ -16,6 +16,8 @@ Usage::
     python -m repro config-check
     python -m repro chaos --seed 0
     python -m repro figure8 --timeout 120 --max-retries 2 --resume sweeps/fig8.jsonl
+    python -m repro serve --port 8712 --jobs 4 --queue-limit 64
+    python -m repro loadtest --duration 10 --concurrency 32 --check
 
 Experiment names and their accepted arguments are derived from
 :data:`repro.harness.experiments.EXPERIMENT_REGISTRY` — a driver that
@@ -37,7 +39,7 @@ from repro.harness.experiments import EXPERIMENT_REGISTRY, ablation_sweep
 from repro.workloads import ALL_ABBRS
 
 COMMANDS = ["list", "all", "run", "sweep", "lint", "soundness", "bench", "config-check",
-            "chaos"]
+            "chaos", "serve", "loadtest"]
 
 
 def run_one(name: str, scale: str, abbrs, gpu_config=None, parser=None) -> None:
@@ -124,9 +126,45 @@ def main(argv=None) -> int:
                              "previous (possibly killed) run, append new ones")
     parser.add_argument("--seed", type=int, default=0, metavar="N",
                         help="for `chaos`: fault-plan seed (default: 0)")
+    parser.add_argument("--workdir", default=None, metavar="DIR",
+                        help="for `chaos`/`loadtest`: persistent working "
+                             "directory for the cache + journal (default: a "
+                             "temp dir; CI keeps this for failure artifacts)")
+    parser.add_argument("--stats-dump", default=None, metavar="PATH",
+                        help="write the final sweep stats as JSON on exit "
+                             "(CI uploads this when a smoke job fails)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="for `serve`: bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=None, metavar="N",
+                        help="for `serve`: TCP port; 0 picks an ephemeral "
+                             "port (default: 8712)")
+    parser.add_argument("--port-file", default=None, metavar="PATH",
+                        help="for `serve`: write the bound port here once "
+                             "listening (ephemeral-port scripting)")
+    parser.add_argument("--queue-limit", type=int, default=64, metavar="N",
+                        help="for `serve`/`loadtest`: max distinct configs "
+                             "pending simulation before 429 (default: 64)")
+    parser.add_argument("--url", default=None, metavar="URL",
+                        help="for `loadtest`: target server (default: spawn "
+                             "an in-process server on an ephemeral port)")
+    parser.add_argument("--duration", type=float, default=10.0, metavar="S",
+                        help="for `loadtest`: timed-phase length (default: 10)")
+    parser.add_argument("--concurrency", type=int, default=32, metavar="N",
+                        help="for `loadtest`: concurrent client connections "
+                             "(default: 32)")
+    parser.add_argument("--configs", default=None, metavar="C1,C2,...",
+                        help="for `loadtest`: variant mix (default: BASE,DARSIE)")
+    parser.add_argument("--report", default=None, metavar="PATH",
+                        help="for `loadtest`: write the JSON report here")
+    parser.add_argument("--check", action="store_true",
+                        help="for `loadtest`: fail unless hits were served, "
+                             "nothing 5xx'd and duplicate requests coalesced")
+    parser.add_argument("--min-rps", type=float, default=0.0, metavar="X",
+                        help="for `loadtest --check`: also require at least "
+                             "X req/s (default: off)")
     args = parser.parse_args(argv)
     if args.scale is None:
-        args.scale = "tiny" if args.experiment == "chaos" else "small"
+        args.scale = "tiny" if args.experiment in ("chaos", "loadtest") else "small"
 
     try:
         overrides = parse_overrides(args.overrides)
@@ -144,6 +182,28 @@ def main(argv=None) -> int:
         removed = parallel.clear_cache()
         print(f"[cache] removed {removed} cached result(s)")
 
+    try:
+        return _dispatch(parser, args, overrides)
+    finally:
+        if args.stats_dump:
+            _write_stats_dump(args.stats_dump)
+
+
+def _write_stats_dump(path: str) -> None:
+    """Persist the last sweep's counters (a CI failure artifact)."""
+    import json
+
+    stats = parallel.last_sweep_stats()
+    payload = {"last_sweep": stats.to_dict() if stats is not None else None}
+    try:
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    except OSError as exc:
+        print(f"[stats-dump] could not write {path}: {exc}", file=sys.stderr)
+
+
+def _dispatch(parser, args, overrides) -> int:
     if args.experiment == "run":
         return run_workload(parser, args, overrides)
 
@@ -164,6 +224,12 @@ def main(argv=None) -> int:
 
     if args.experiment == "chaos":
         return run_chaos(parser, args)
+
+    if args.experiment == "serve":
+        return run_serve(parser, args)
+
+    if args.experiment == "loadtest":
+        return run_loadtest_cmd(parser, args)
 
     if args.experiment == "list":
         return run_list()
@@ -293,12 +359,67 @@ def run_chaos(parser, args) -> int:
         abbrs = None  # fall back to the chaos module's fast default matrix
     start = time.perf_counter()
     kwargs = {"seed": args.seed, "scale": args.scale,
-              "jobs": args.jobs if args.jobs > 1 else 2}
+              "jobs": args.jobs if args.jobs > 1 else 2,
+              "workdir": args.workdir}
     if abbrs is not None:
         kwargs["abbrs"] = abbrs
     report = chaos_soak(**kwargs)
     print(report.render())
     print(f"\n[chaos soak done in {time.perf_counter() - start:.1f}s]")
+    return 0 if report.ok else 1
+
+
+def run_serve(parser, args) -> int:
+    """`python -m repro serve [--host H] [--port N] [--queue-limit N]
+    [--jobs N] [--resume JOURNAL] [--port-file PATH]`."""
+    import asyncio
+
+    from repro.serve import SweepServer
+    from repro.serve.server import DEFAULT_PORT, serve_forever
+
+    server = SweepServer(
+        host=args.host,
+        port=DEFAULT_PORT if args.port is None else args.port,
+        jobs=max(1, args.jobs),
+        queue_limit=args.queue_limit,
+        journal=args.resume,
+    )
+    asyncio.run(serve_forever(server, port_file=args.port_file))
+    return 0
+
+
+def run_loadtest_cmd(parser, args) -> int:
+    """`python -m repro loadtest [--url U] [--duration S] [--concurrency N]
+    [--apps A,B] [--configs C1,C2] [--report PATH] [--check [--min-rps X]]`."""
+    from repro.serve import run_loadtest
+    from repro.serve.loadgen import DEFAULT_APPS, DEFAULT_CONFIGS
+    from repro.variants import REGISTRY
+
+    apps = _resolve_abbrs(parser, args) if (args.apps or args.workload) else DEFAULT_APPS
+    configs = DEFAULT_CONFIGS
+    if args.configs:
+        configs = tuple(c.strip().upper() for c in args.configs.split(","))
+        unknown = [c for c in configs if c not in REGISTRY]
+        if unknown:
+            parser.error(f"unknown configs: {unknown}; known: {REGISTRY.names()}")
+    report = run_loadtest(
+        url=args.url,
+        duration_s=args.duration,
+        concurrency=args.concurrency,
+        apps=apps,
+        configs=configs,
+        scale=args.scale,
+        jobs=max(1, args.jobs),
+        queue_limit=args.queue_limit,
+        workdir=args.workdir,
+        journal=args.resume,
+    )
+    if args.check:
+        report.check(min_rps=args.min_rps)
+    print(report.render())
+    if args.report:
+        report.write(args.report)
+        print(f"\n[loadtest report written to {args.report}]")
     return 0 if report.ok else 1
 
 

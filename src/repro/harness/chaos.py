@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import os
 import tempfile
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -108,8 +109,15 @@ def chaos_soak(
     configs: Sequence[str] = DEFAULT_CONFIGS,
     jobs: int = 2,
     cache_dir: Optional[str] = None,
+    workdir: Optional[str] = None,
 ) -> ChaosReport:
-    """Run the three-pass soak; see the module docstring for the contract."""
+    """Run the three-pass soak; see the module docstring for the contract.
+
+    ``workdir`` names a persistent directory for the soak's cache and
+    journal (any stale journal there is cleared first) — CI uses this so
+    a red run can upload them as debugging artifacts; the default is a
+    temp directory removed on exit.
+    """
     specs = [
         RunSpec(abbr=a, config_name=c, scale=scale)
         for a in abbrs
@@ -129,8 +137,17 @@ def chaos_soak(
 
     clean, clean_stats = run_specs(specs, jobs=jobs, use_cache=False, resume=False)
 
-    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+    with ExitStack() as stack:
+        if workdir is None:
+            tmp = stack.enter_context(tempfile.TemporaryDirectory(prefix="repro-chaos-"))
+        else:
+            os.makedirs(workdir, exist_ok=True)
+            tmp = workdir
         journal = os.path.join(tmp, "journal.jsonl")
+        try:
+            os.unlink(journal)  # a stale journal would skew the resume pass
+        except OSError:
+            pass
         with plan.active():
             faulted, fault_stats = run_specs(
                 specs, jobs=jobs, use_cache=True, cache_dir=tmp,

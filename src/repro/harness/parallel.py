@@ -247,6 +247,44 @@ class SweepStats:
     #: (spec label, seconds, "hit" | "resume" | "sim" | "fail") in spec order
     per_run: List[Tuple[str, float, str]] = field(default_factory=list)
 
+    def to_dict(self) -> dict:
+        """Plain-data counters (the ``/stats`` endpoint and the CI
+        stats-dump artifact serialize this)."""
+        return {
+            "runs": self.runs,
+            "cache_hits": self.cache_hits,
+            "simulated": self.simulated,
+            "failures": self.failures,
+            "cache_write_failures": self.cache_write_failures,
+            "cache_read_failures": self.cache_read_failures,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_restarts": self.pool_restarts,
+            "quarantined": list(self.quarantined),
+            "journal_skips": self.journal_skips,
+            "wall_time_s": round(self.wall_time_s, 6),
+            "jobs": self.jobs,
+            "per_run": [list(r) for r in self.per_run],
+        }
+
+    def merge(self, other: "SweepStats") -> None:
+        """Accumulate another sweep's counters into this one (the serve
+        pump aggregates per-batch stats into service totals)."""
+        self.runs += other.runs
+        self.cache_hits += other.cache_hits
+        self.simulated += other.simulated
+        self.failures += other.failures
+        self.cache_write_failures += other.cache_write_failures
+        self.cache_read_failures += other.cache_read_failures
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.pool_restarts += other.pool_restarts
+        self.quarantined.extend(other.quarantined)
+        self.journal_skips += other.journal_skips
+        self.wall_time_s += other.wall_time_s
+        self.jobs = max(self.jobs, other.jobs)
+        self.per_run.extend(other.per_run)
+
     def render(self) -> str:
         text = (
             f"[sweep] {self.runs} runs in {self.wall_time_s:.1f}s"
@@ -433,9 +471,34 @@ def cache_key(spec: RunSpec) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+#: leading hex chars of the cache key that name an entry's shard
+#: directory (256 shards keeps per-directory listings short even for
+#: service-scale stores; see DESIGN §4g).
+CACHE_SHARD_CHARS = 2
+
+#: shard directories are exactly this: short lowercase-hex names
+_SHARD_DIR_RE = re.compile(r"^[0-9a-f]{%d}$" % CACHE_SHARD_CHARS)
+
+
+def cache_shard(key: str) -> str:
+    """Shard directory name for one cache key (its hex prefix)."""
+    return key[:CACHE_SHARD_CHARS]
+
+
+def _cache_slug(spec: RunSpec) -> str:
+    return re.sub(r"[^A-Za-z0-9_.-]+", "-", f"{spec.abbr}-{spec.config_name}-{spec.scale}")
+
+
 def cache_path(spec: RunSpec, key: str, cache_dir: str) -> str:
-    slug = re.sub(r"[^A-Za-z0-9_.-]+", "-", f"{spec.abbr}-{spec.config_name}-{spec.scale}")
-    return os.path.join(cache_dir, f"{slug}-{key[:16]}.pkl")
+    """Canonical (sharded) location of one cache entry."""
+    return os.path.join(
+        cache_dir, cache_shard(key), f"{_cache_slug(spec)}-{key[:16]}.pkl"
+    )
+
+
+def legacy_cache_path(spec: RunSpec, key: str, cache_dir: str) -> str:
+    """Pre-shard flat location (read-only migration path)."""
+    return os.path.join(cache_dir, f"{_cache_slug(spec)}-{key[:16]}.pkl")
 
 
 def _cache_load(path: str, key: str) -> Tuple[Optional[object], str]:
@@ -462,6 +525,34 @@ def _cache_load(path: str, key: str) -> Tuple[Optional[object], str]:
     if payload.get("key") != key:
         return None, "miss"
     return payload["result"], "hit"
+
+
+def cache_lookup(spec: RunSpec, key: str, cache_dir: str) -> Tuple[Optional[object], str]:
+    """Shard-aware cache probe: ``(result, status)``.
+
+    The sharded path is authoritative; on a miss there the pre-shard
+    flat location is consulted so stores written by older code keep
+    serving hits.  A flat hit is promoted — rewritten at the sharded
+    path and unlinked from the flat one — so the migration converges as
+    entries are touched.  This is the one read path both the sweep layer
+    and the serving front end (:mod:`repro.serve.store`) go through.
+    """
+    path = cache_path(spec, key, cache_dir)
+    result, status = _cache_load(path, key)
+    if status != "miss":
+        return result, status
+    legacy = legacy_cache_path(spec, key, cache_dir)
+    result, legacy_status = _cache_load(legacy, key)
+    if legacy_status == "hit":
+        if _cache_store(path, key, result):
+            try:
+                os.unlink(legacy)
+            except OSError:
+                pass
+        return result, "hit"
+    if legacy_status == "corrupt":
+        return None, "corrupt"
+    return None, "miss"
 
 
 #: temp-file suffix pattern used by :func:`_cache_store`'s atomic writes
@@ -498,8 +589,24 @@ def _cache_store(path: str, key: str, result, label: Optional[str] = None) -> bo
         return False
 
 
+def _cache_dirs(directory: str) -> List[str]:
+    """The flat root plus every shard subdirectory — the complete set of
+    places maintenance must look (flat entries predate sharding)."""
+    dirs = [directory]
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return dirs
+    for name in sorted(names):
+        sub = os.path.join(directory, name)
+        if _SHARD_DIR_RE.match(name) and os.path.isdir(sub):
+            dirs.append(sub)
+    return dirs
+
+
 def reap_stale_tmp(cache_dir: Optional[str] = None, max_age_s: float = STALE_TMP_AGE_S) -> int:
-    """Remove ``*.pkl.tmp.<pid>`` files leaked by crashed sweeps.
+    """Remove ``*.pkl.tmp.<pid>`` files leaked by crashed sweeps, in the
+    flat root and in every shard directory.
 
     A live sweep's tmp file exists only for the instant between write
     and rename, so anything older than ``max_age_s`` is garbage.
@@ -510,32 +617,50 @@ def reap_stale_tmp(cache_dir: Optional[str] = None, max_age_s: float = STALE_TMP
     if not os.path.isdir(directory):
         return 0
     now = time.time()
-    for name in os.listdir(directory):
-        if not _TMP_RE.search(name):
-            continue
-        path = os.path.join(directory, name)
+    for subdir in _cache_dirs(directory):
         try:
-            if now - os.path.getmtime(path) >= max_age_s:
-                os.unlink(path)
-                removed += 1
+            names = os.listdir(subdir)
         except OSError:
-            pass
+            continue
+        for name in names:
+            if not _TMP_RE.search(name):
+                continue
+            path = os.path.join(subdir, name)
+            try:
+                if now - os.path.getmtime(path) >= max_age_s:
+                    os.unlink(path)
+                    removed += 1
+            except OSError:
+                pass
     return removed
 
 
 def clear_cache(cache_dir: Optional[str] = None) -> int:
-    """Delete every cache entry, including leaked ``*.tmp.<pid>`` files
-    from crashed sweeps; returns the number removed."""
+    """Delete every cache entry — sharded and legacy flat alike —
+    including leaked ``*.tmp.<pid>`` files from crashed sweeps; returns
+    the number of files removed (emptied shard directories are pruned
+    but not counted)."""
     directory = resolve_cache_dir(cache_dir)
     removed = 0
-    if os.path.isdir(directory):
-        for name in os.listdir(directory):
+    if not os.path.isdir(directory):
+        return 0
+    for subdir in _cache_dirs(directory):
+        try:
+            names = os.listdir(subdir)
+        except OSError:
+            continue
+        for name in names:
             if name.endswith(".pkl") or _TMP_RE.search(name):
                 try:
-                    os.unlink(os.path.join(directory, name))
+                    os.unlink(os.path.join(subdir, name))
                     removed += 1
                 except OSError:
                     pass
+        if subdir != directory:
+            try:
+                os.rmdir(subdir)  # only succeeds when emptied
+            except OSError:
+                pass
     return removed
 
 
@@ -992,7 +1117,7 @@ def run_specs(
         path = cache_path(spec, key, directory) if caching else None
         cached = None
         if caching:
-            cached, status = _cache_load(path, key)
+            cached, status = cache_lookup(spec, key, directory)
             if status == "corrupt":
                 stats.cache_read_failures += 1
         item = _Attempt(index=i, spec=spec, key=key, path=path,

@@ -1,0 +1,23 @@
+"""Memoizing sweep service: an async front end over the
+content-addressed result store.
+
+``python -m repro serve`` boots an asyncio HTTP server that accepts
+canonical :class:`~repro.config.RunConfig` JSON, serves hits straight
+from the sharded result cache, coalesces duplicate in-flight requests
+onto one simulation, and fans misses out to the fault-tolerant
+:func:`~repro.harness.parallel.run_specs` pool.  ``python -m repro
+loadtest`` is the matching async load generator.  See DESIGN §4g.
+"""
+
+from repro.serve.loadgen import LoadtestReport, run_loadtest
+from repro.serve.server import ServeStats, SweepServer
+from repro.serve.store import ResultStore, encode_result
+
+__all__ = [
+    "LoadtestReport",
+    "ResultStore",
+    "ServeStats",
+    "SweepServer",
+    "encode_result",
+    "run_loadtest",
+]

@@ -1,0 +1,401 @@
+"""Async load generator for the sweep service.
+
+``python -m repro loadtest`` drives a :class:`~repro.serve.server.SweepServer`
+with a configurable concurrency / duration / config mix and reports
+achieved req/s plus p50/p95/p99 latency.  Three phases:
+
+1. **coalesce probe** — a burst of identical requests against one cold
+   config, proving duplicate in-flight requests collapse onto a single
+   simulation (visible as ``source: "coalesced"`` responses);
+2. **warmup** — every distinct config in the mix is requested once, so
+   the store is warm (skippable with ``warm=False``);
+3. **timed run** — ``concurrency`` workers, each on its own persistent
+   connection, hammer the mix round-robin until the deadline.
+
+With no ``--url`` the loadtest spawns its own server in-process on an
+ephemeral port against a fresh working directory, which is what the CI
+``serve-smoke`` job runs.  ``--check`` turns the report into a gate:
+nonzero hit rate, zero 5xx, and demonstrated coalescing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import shutil
+import tempfile
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import RunConfig
+from repro.serve.server import SweepServer
+
+#: configs the default loadtest mix pairs with every app
+DEFAULT_CONFIGS = ("BASE", "DARSIE")
+DEFAULT_APPS = ("LIB", "FWS")
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample (0 ≤ q ≤ 1)."""
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, max(0, int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[idx]
+
+
+class _Conn:
+    """One persistent HTTP/1.1 connection with single-retry reconnect."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def _ensure(self) -> None:
+        if self._writer is None or self._writer.is_closing():
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+
+    async def request_raw(self, request: bytes) -> Tuple[int, bytes]:
+        """Send prebuilt request bytes; returns (status, body)."""
+        for attempt in (1, 2):
+            try:
+                await self._ensure()
+                self._writer.write(request)
+                await self._writer.drain()
+                return await self._read_response()
+            except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                await self.close()
+                if attempt == 2:
+                    raise
+        raise ConnectionError("unreachable")
+
+    async def _read_response(self) -> Tuple[int, bytes]:
+        head = await self._reader.readuntil(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split()[1])
+        length = 0
+        close = False
+        for line in lines[1:]:
+            name, sep, value = line.partition(":")
+            if not sep:
+                continue
+            name = name.strip().lower()
+            if name == "content-length":
+                length = int(value.strip())
+            elif name == "connection" and value.strip().lower() == "close":
+                close = True
+        body = await self._reader.readexactly(length) if length else b""
+        if close:
+            await self.close()
+        return status, body
+
+    async def request(self, method: str, path: str, body: bytes = b"") -> Tuple[int, bytes]:
+        return await self.request_raw(build_request(self.host, method, path, body))
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            except Exception:
+                pass
+        self._reader = self._writer = None
+
+
+def build_request(host: str, method: str, path: str, body: bytes = b"") -> bytes:
+    head = (
+        f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+        f"Content-Type: application/json\r\nContent-Length: {len(body)}\r\n\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+@dataclass
+class LoadtestReport:
+    """Everything one loadtest run observed, plus the gate verdict."""
+
+    duration_s: float
+    concurrency: int
+    mix: List[str]
+    requests: int = 0
+    achieved_rps: float = 0.0
+    #: client-observed HTTP status counts during the timed phase
+    status_counts: Dict[int, int] = field(default_factory=dict)
+    #: connection-level failures (reset mid-request, refused, ...)
+    transport_errors: int = 0
+    p50_ms: float = 0.0
+    p95_ms: float = 0.0
+    p99_ms: float = 0.0
+    max_ms: float = 0.0
+    #: coalesce-probe observations (burst of identical cold requests)
+    probe: Dict[str, int] = field(default_factory=dict)
+    #: the server's /stats snapshot after the run
+    server_stats: Dict = field(default_factory=dict)
+    #: gate failures (empty = pass); filled by :meth:`check`
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    @property
+    def server_errors(self) -> int:
+        return sum(n for s, n in self.status_counts.items() if s >= 500)
+
+    def check(self, min_rps: float = 0.0) -> List[str]:
+        """The serve-smoke gate: hits happened, nothing 5xx'd, duplicate
+        requests coalesced.  Returns (and stores) the failures."""
+        problems = []
+        if not self.server_stats.get("hits"):
+            problems.append("no cache hits were served (hit rate is zero)")
+        if self.server_errors:
+            problems.append(f"{self.server_errors} server error(s) (5xx) observed")
+        if self.transport_errors:
+            problems.append(f"{self.transport_errors} transport error(s)")
+        if not self.server_stats.get("coalesced"):
+            problems.append(
+                "no requests coalesced (duplicate in-flight configs should "
+                "share one simulation)"
+            )
+        if min_rps > 0 and self.achieved_rps < min_rps:
+            problems.append(
+                f"achieved {self.achieved_rps:.0f} req/s < required {min_rps:.0f}"
+            )
+        self.problems = problems
+        return problems
+
+    def to_dict(self) -> dict:
+        return {
+            "duration_s": self.duration_s,
+            "concurrency": self.concurrency,
+            "mix": self.mix,
+            "requests": self.requests,
+            "achieved_rps": round(self.achieved_rps, 1),
+            "status_counts": {str(k): v for k, v in sorted(self.status_counts.items())},
+            "transport_errors": self.transport_errors,
+            "latency_ms": {
+                "p50": round(self.p50_ms, 3),
+                "p95": round(self.p95_ms, 3),
+                "p99": round(self.p99_ms, 3),
+                "max": round(self.max_ms, 3),
+            },
+            "probe": self.probe,
+            "server_stats": self.server_stats,
+            "problems": self.problems,
+            "ok": self.ok,
+        }
+
+    def write(self, path: str) -> None:
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def render(self) -> str:
+        lines = [
+            f"[loadtest] {self.requests} requests in {self.duration_s:.1f}s "
+            f"at concurrency {self.concurrency}: {self.achieved_rps:.0f} req/s",
+            f"  latency: p50 {self.p50_ms:.2f}ms  p95 {self.p95_ms:.2f}ms  "
+            f"p99 {self.p99_ms:.2f}ms  max {self.max_ms:.2f}ms",
+            f"  statuses: " + ", ".join(
+                f"{s}×{n}" for s, n in sorted(self.status_counts.items())
+            ) + (f", {self.transport_errors} transport errors"
+                 if self.transport_errors else ""),
+        ]
+        if self.probe:
+            lines.append(
+                f"  coalesce probe: {self.probe.get('requests', 0)} identical "
+                f"requests -> {self.probe.get('simulated', 0)} simulated, "
+                f"{self.probe.get('coalesced', 0)} coalesced, "
+                f"{self.probe.get('hits', 0)} hits"
+            )
+        stats = self.server_stats
+        if stats:
+            lines.append(
+                f"  server: hit_rate {stats.get('hit_rate', 0.0):.3f}, "
+                f"{stats.get('coalesced', 0)} coalesced, "
+                f"{stats.get('rejected', 0)} rejected, "
+                f"{stats.get('sim_failures', 0)} sim failures, "
+                f"queue peak {stats.get('queue_peak', 0)}"
+            )
+        if self.problems:
+            lines.append(f"loadtest FAILED ({len(self.problems)} problem(s)):")
+            lines.extend(f"  - {p}" for p in self.problems)
+        return "\n".join(lines)
+
+
+def _mix_bodies(apps: Sequence[str], configs: Sequence[str], scale: str) -> List[Tuple[str, bytes]]:
+    """(label, canonical JSON body) for every (app, config) pair."""
+    out = []
+    for abbr in apps:
+        for variant in configs:
+            cfg = RunConfig(abbr=abbr, variant=variant, scale=scale)
+            out.append((cfg.label, cfg.canonical_json().encode()))
+    return out
+
+
+async def _timed_worker(conn: _Conn, requests: List[bytes], start: int,
+                        deadline: float, latencies: List[float],
+                        statuses: Counter, errors: List[int]) -> None:
+    i = start
+    n = len(requests)
+    while time.perf_counter() < deadline:
+        t0 = time.perf_counter()
+        try:
+            status, _ = await conn.request_raw(requests[i % n])
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            errors[0] += 1
+            continue
+        finally:
+            i += 1
+        latencies.append(time.perf_counter() - t0)
+        statuses[status] += 1
+    await conn.close()
+
+
+async def _run_async(
+    host: str,
+    port: int,
+    bodies: List[Tuple[str, bytes]],
+    duration_s: float,
+    concurrency: int,
+    warm: bool,
+    probe_burst: int,
+    report: LoadtestReport,
+) -> None:
+    requests = [build_request(host, "POST", "/run", body) for _label, body in bodies]
+
+    # Phase 1: coalesce probe — identical concurrent requests on the
+    # first config of the mix.  On a cold store exactly one simulates
+    # and the rest coalesce; on a warm one they all hit (still recorded,
+    # the /stats assertion then relies on the timed phase's misses).
+    if probe_burst > 1:
+        conns = [_Conn(host, port) for _ in range(probe_burst)]
+        replies = await asyncio.gather(
+            *(c.request_raw(requests[0]) for c in conns), return_exceptions=True
+        )
+        probe = Counter()
+        for reply in replies:
+            if isinstance(reply, BaseException):
+                probe["errors"] += 1
+                continue
+            status, body = reply
+            probe["requests"] += 1
+            if status == 200:
+                source = json.loads(body.decode()).get("source", "")
+                if source in ("memory", "store"):
+                    probe["hits"] += 1
+                else:
+                    probe[source] += 1
+            else:
+                probe[f"status_{status}"] += 1
+        report.probe = dict(probe)
+        await asyncio.gather(*(c.close() for c in conns))
+
+    # Phase 2: warm the store so the timed phase measures the hit path.
+    if warm:
+        conn = _Conn(host, port)
+        for request in requests:
+            await conn.request_raw(request)
+        await conn.close()
+
+    # Phase 3: timed run.
+    latencies: List[float] = []
+    statuses: Counter = Counter()
+    errors = [0]
+    deadline = time.perf_counter() + duration_s
+    t0 = time.perf_counter()
+    workers = [
+        _timed_worker(_Conn(host, port), requests, i, deadline,
+                      latencies, statuses, errors)
+        for i in range(concurrency)
+    ]
+    await asyncio.gather(*workers)
+    elapsed = max(1e-9, time.perf_counter() - t0)
+
+    latencies.sort()
+    report.requests = len(latencies)
+    report.achieved_rps = len(latencies) / elapsed
+    report.status_counts = dict(statuses)
+    report.transport_errors = errors[0]
+    report.p50_ms = percentile(latencies, 0.50) * 1e3
+    report.p95_ms = percentile(latencies, 0.95) * 1e3
+    report.p99_ms = percentile(latencies, 0.99) * 1e3
+    report.max_ms = latencies[-1] * 1e3 if latencies else 0.0
+
+    # Final /stats snapshot.
+    conn = _Conn(host, port)
+    try:
+        status, body = await conn.request("GET", "/stats")
+        if status == 200:
+            report.server_stats = json.loads(body.decode())
+    finally:
+        await conn.close()
+
+
+def run_loadtest(
+    url: Optional[str] = None,
+    duration_s: float = 10.0,
+    concurrency: int = 32,
+    apps: Sequence[str] = DEFAULT_APPS,
+    configs: Sequence[str] = DEFAULT_CONFIGS,
+    scale: str = "tiny",
+    warm: bool = True,
+    probe_burst: int = 8,
+    jobs: int = 1,
+    queue_limit: int = 64,
+    workdir: Optional[str] = None,
+    journal: Optional[str] = None,
+    run_batch=None,
+) -> LoadtestReport:
+    """Run one loadtest; spawns an in-process server when ``url`` is None.
+
+    The spawned server gets a fresh working directory (``workdir`` or a
+    temp dir) holding its sharded cache and resume journal, so repeated
+    loadtests are deterministic: the probe config is always cold.
+    """
+    if url is not None:
+        stripped = url.replace("http://", "", 1).rstrip("/")
+        host, _, port_text = stripped.partition(":")
+        host = host or "127.0.0.1"
+        port = int(port_text or 80)
+    bodies = _mix_bodies(apps, configs, scale)
+    report = LoadtestReport(
+        duration_s=duration_s,
+        concurrency=max(1, int(concurrency)),
+        mix=[label for label, _ in bodies],
+    )
+
+    async def main() -> None:
+        if url is not None:
+            await _run_async(host, port, bodies, duration_s, report.concurrency,
+                             warm, probe_burst, report)
+            return
+        owned = workdir or tempfile.mkdtemp(prefix="repro-loadtest-")
+        os.makedirs(owned, exist_ok=True)
+        server = SweepServer(
+            port=0,
+            jobs=jobs,
+            queue_limit=queue_limit,
+            cache_dir=os.path.join(owned, "cache"),
+            journal=journal or os.path.join(owned, "journal.jsonl"),
+            run_batch=run_batch,
+        )
+        await server.start()
+        try:
+            await _run_async(server.host, server.port, bodies, duration_s,
+                             report.concurrency, warm, probe_burst, report)
+        finally:
+            await server.stop()
+            if workdir is None:
+                shutil.rmtree(owned, ignore_errors=True)
+
+    asyncio.run(main())
+    return report

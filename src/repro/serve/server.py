@@ -1,0 +1,479 @@
+"""Asyncio HTTP front end over the sweep cache and simulation pool.
+
+One :class:`SweepServer` owns four pieces of state:
+
+- a :class:`~repro.serve.store.ResultStore` (memory LRU over the
+  sharded on-disk store) — the hit path;
+- a **coalescing map** ``cache key -> flight``: every distinct config
+  being simulated has exactly one in-flight future, and any number of
+  requests await it behind :func:`asyncio.shield`, so a client
+  disconnect can never cancel work other clients are waiting on;
+- a **bounded admission backlog** of flights the pump has not yet picked
+  up.  Admission is measured in *distinct configs pending anywhere*
+  (backlog + running batch): coalesced duplicates are free, new work is
+  bounded, and overflow is refused with ``429`` and a ``Retry-After``
+  estimated from observed simulation times;
+- a single **pump** task that drains the backlog in batches into
+  :func:`~repro.harness.parallel.run_specs` on a worker thread — the
+  full fault-tolerance machinery (per-request :class:`ExecPolicy`
+  timeouts/retries, quarantine, resume journal) applies unchanged, and
+  batching lets duplicate-free bursts share one process pool spin-up.
+
+Wire protocol (HTTP/1.1, keep-alive):
+
+``POST /run``
+    body: canonical :class:`~repro.config.RunConfig` JSON.  ``200`` with
+    ``{"key", "source", "result"}`` (source: ``memory`` / ``store`` /
+    ``simulated`` / ``coalesced``), ``400`` on malformed or unknown-key
+    config (the strict :meth:`RunConfig.from_dict` error verbatim),
+    ``429`` + ``Retry-After`` when the admission queue is full, ``503``
+    while draining, ``500`` when the simulation itself failed.
+``GET /stats``
+    service counters + aggregated sweep stats (JSON).
+``GET /healthz``
+    liveness + draining flag.
+
+Shutdown is graceful: :meth:`SweepServer.stop` stops accepting, lets the
+pump drain every admitted flight (each ``run_specs`` batch appends its
+journal lines as outcomes land, so the journal is flushed by
+construction), then waits for open connections to finish writing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import ConfigError, RunConfig
+from repro.harness.parallel import (
+    RunOutcome,
+    RunSpec,
+    SweepStats,
+    run_specs,
+)
+from repro.serve.store import ResultStore, encode_result
+from repro.variants import REGISTRY
+from repro.workloads import ALL_ABBRS, SCALES
+
+#: default TCP port for ``python -m repro serve`` (0 = ephemeral)
+DEFAULT_PORT = 8712
+
+#: largest request head / body the server will read
+_MAX_HEAD = 16 * 1024
+_MAX_BODY = 256 * 1024
+
+_JSON_HEADERS = (("Content-Type", "application/json"),)
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+@dataclass
+class ServeStats:
+    """Service-level counters (the sweep layer's live in ``sweep``)."""
+
+    requests: int = 0
+    #: requests answered straight from the store (memory or disk)
+    hits: int = 0
+    memory_hits: int = 0
+    store_hits: int = 0
+    #: distinct configs admitted for simulation
+    misses: int = 0
+    #: requests that attached to an already in-flight simulation
+    coalesced: int = 0
+    #: requests refused with 429 (admission queue full)
+    rejected: int = 0
+    #: requests refused with 400 (malformed / unknown-key / bad names)
+    bad_requests: int = 0
+    #: simulations that failed (each waiter got a 500)
+    sim_failures: int = 0
+    #: highest simultaneous distinct-config load observed
+    queue_peak: int = 0
+
+    @property
+    def run_requests(self) -> int:
+        return self.hits + self.misses + self.coalesced
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / max(1, self.run_requests)
+
+
+@dataclass
+class _Flight:
+    """One distinct config on its way through the simulation pool."""
+
+    key: str
+    spec: RunSpec
+    #: resolves to ``(RunOutcome, payload bytes | None)``; never
+    #: cancelled and never carries an exception, so a waiterless flight
+    #: (every client disconnected) finishes silently.
+    future: "asyncio.Future[Tuple[RunOutcome, Optional[bytes]]]" = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+class SweepServer:
+    """The memoizing simulation service (see module docstring)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        *,
+        jobs: int = 1,
+        queue_limit: int = 64,
+        batch_max: int = 32,
+        cache_dir: Optional[str] = None,
+        journal: Optional[str] = None,
+        memory_entries: int = 4096,
+        run_batch: Optional[Callable[[Sequence[RunSpec]], Tuple[List[RunOutcome], SweepStats]]] = None,
+        registry=REGISTRY,
+    ):
+        self.host = host
+        self.port = port
+        self.jobs = max(1, int(jobs))
+        self.queue_limit = max(1, int(queue_limit))
+        self.batch_max = max(1, int(batch_max))
+        self.journal = journal
+        self.registry = registry
+        self.store = ResultStore(cache_dir, memory_entries=memory_entries)
+        #: test seam: anything with run_specs's (outcomes, stats) shape
+        self._run_batch = run_batch or partial(
+            run_specs,
+            jobs=self.jobs,
+            cache_dir=self.store.cache_dir,
+            strict=False,
+            resume=journal if journal else False,
+        )
+        self.stats = ServeStats()
+        self.sweep_totals = SweepStats(jobs=self.jobs)
+        self._inflight: Dict[str, _Flight] = {}
+        self._backlog: Deque[_Flight] = deque()
+        self._batch_size = 0  # flights currently inside run_specs
+        self._wakeup = asyncio.Event()
+        self._draining = False
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._pump_task: Optional[asyncio.Task] = None
+        self._conn_tasks: set = set()
+        self._started_at = time.perf_counter()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.host, self.port, limit=_MAX_HEAD
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._pump_task = asyncio.ensure_future(self._pump())
+        self._started_at = time.perf_counter()
+
+    async def stop(self, conn_grace_s: float = 5.0) -> None:
+        """Graceful shutdown: refuse new work, drain admitted work."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._wakeup.set()
+        if self._pump_task is not None:
+            await self._pump_task  # drains the backlog before exiting
+        if self._conn_tasks:
+            await asyncio.wait(list(self._conn_tasks), timeout=conn_grace_s)
+
+    @property
+    def queue_depth(self) -> int:
+        """Distinct configs pending anywhere (backlog + running batch)."""
+        return len(self._backlog) + self._batch_size
+
+    # -- simulation pump ---------------------------------------------------
+
+    async def _pump(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            while not self._backlog and not self._draining:
+                self._wakeup.clear()
+                await self._wakeup.wait()
+            if not self._backlog:
+                return  # draining and empty
+            batch: List[_Flight] = []
+            while self._backlog and len(batch) < self.batch_max:
+                batch.append(self._backlog.popleft())
+            self._batch_size = len(batch)
+            specs = [f.spec for f in batch]
+            try:
+                outcomes, stats = await loop.run_in_executor(
+                    None, partial(self._run_batch, specs)
+                )
+            except Exception as exc:  # defensive: run_specs(strict=False) shouldn't raise
+                outcomes = [
+                    RunOutcome(spec=s, result=None, error=str(exc),
+                               error_type=type(exc).__name__)
+                    for s in specs
+                ]
+                stats = SweepStats(jobs=self.jobs)
+            self._merge_sweep(stats)
+            # run_specs returns outcomes in spec order; pad defensively
+            # so a short list can never leave a flight unresolved.
+            for i, flight in enumerate(batch):
+                if i < len(outcomes):
+                    outcome = outcomes[i]
+                else:
+                    outcome = RunOutcome(
+                        spec=flight.spec, result=None,
+                        error="simulation pool returned no outcome for this spec",
+                        error_type="MissingOutcome",
+                    )
+                self._resolve(flight, outcome)
+            self._batch_size = 0
+
+    def _merge_sweep(self, stats: SweepStats) -> None:
+        self.sweep_totals.merge(stats)
+        # per_run is per-request observability; bound it so a long-lived
+        # service cannot grow without limit.
+        del self.sweep_totals.per_run[:-256]
+
+    def _resolve(self, flight: _Flight, outcome: RunOutcome) -> None:
+        payload: Optional[bytes] = None
+        if outcome.ok:
+            payload = encode_result(outcome.result)
+            self.store.put(flight.key, payload)
+        else:
+            self.stats.sim_failures += 1
+        self._inflight.pop(flight.key, None)
+        if not flight.future.done():
+            flight.future.set_result((outcome, payload))
+
+    # -- HTTP plumbing -----------------------------------------------------
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+                status, extra, payload = await self._dispatch(method, path, body)
+                await self._write_response(writer, status, extra, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            pass  # client went away or spoke garbage; nothing to salvage
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError:
+            return None  # clean EOF between requests
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3:
+            return None
+        method, path = parts[0].upper(), parts[1]
+        headers = {}
+        for line in lines[1:]:
+            name, sep, value = line.partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or 0)
+        if length > _MAX_BODY:
+            return None
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    async def _write_response(self, writer: asyncio.StreamWriter, status: int,
+                              extra_headers, payload: bytes, keep_alive: bool) -> None:
+        reason = _REASONS.get(status, "OK")
+        head = [f"HTTP/1.1 {status} {reason}"]
+        for name, value in _JSON_HEADERS + tuple(extra_headers):
+            head.append(f"{name}: {value}")
+        head.append(f"Content-Length: {len(payload)}")
+        head.append("Connection: " + ("keep-alive" if keep_alive else "close"))
+        writer.write("\r\n".join(head).encode("latin-1") + b"\r\n\r\n" + payload)
+        await writer.drain()
+
+    async def _dispatch(self, method: str, path: str, body: bytes):
+        path = path.split("?", 1)[0]
+        if path == "/run":
+            if method != "POST":
+                return 405, (), b'{"error":"use POST"}'
+            return await self._handle_run(body)
+        if path == "/stats":
+            return 200, (), json.dumps(self.stats_dict(), sort_keys=True).encode()
+        if path == "/healthz":
+            return 200, (), json.dumps(
+                {"ok": True, "draining": self._draining}
+            ).encode()
+        return 404, (), b'{"error":"unknown path"}'
+
+    # -- the /run path -----------------------------------------------------
+
+    def _validate(self, body: bytes) -> Tuple[Optional[RunSpec], Optional[str]]:
+        """Parse + strictly validate one request body into a RunSpec."""
+        try:
+            data = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            return None, f"body is not valid JSON: {exc}"
+        try:
+            cfg = RunConfig.from_dict(data)
+        except ConfigError as exc:
+            return None, str(exc)
+        if cfg.abbr not in ALL_ABBRS:
+            return None, f"unknown workload {cfg.abbr!r}; known: {list(ALL_ABBRS)}"
+        if cfg.scale not in SCALES:
+            return None, f"unknown scale {cfg.scale!r}; known: {list(SCALES)}"
+        if cfg.darsie is None and cfg.variant not in self.registry:
+            return None, (
+                f"unknown variant {cfg.variant!r}; known: {self.registry.names()} "
+                "(or supply explicit darsie knobs)"
+            )
+        return RunSpec.from_run_config(cfg), None
+
+    def _retry_after_s(self) -> int:
+        """Seconds a refused client should wait: the backlog's expected
+        drain time under observed per-simulation wall times."""
+        per_sim = self.sweep_totals.wall_time_s / max(1, self.sweep_totals.simulated)
+        estimate = self.queue_depth * max(0.1, per_sim) / self.jobs
+        return max(1, min(60, int(estimate + 0.999)))
+
+    async def _handle_run(self, body: bytes):
+        self.stats.requests += 1
+        spec, error = self._validate(body)
+        if spec is None:
+            self.stats.bad_requests += 1
+            return 400, (), json.dumps({"error": error}).encode()
+        key = self.store.key_for(spec)
+
+        payload, source = self.store.get(spec, key)
+        if payload is not None:
+            self.stats.hits += 1
+            if source == "memory":
+                self.stats.memory_hits += 1
+            else:
+                self.stats.store_hits += 1
+            return 200, (), self._result_body(key, source, payload)
+
+        flight = self._inflight.get(key)
+        created = flight is None
+        if created:
+            if self._draining:
+                return 503, (), b'{"error":"server is draining"}'
+            if self.queue_depth >= self.queue_limit:
+                self.stats.rejected += 1
+                retry_after = self._retry_after_s()
+                return (
+                    429,
+                    (("Retry-After", str(retry_after)),),
+                    json.dumps({
+                        "error": "admission queue is full",
+                        "queue_depth": self.queue_depth,
+                        "queue_limit": self.queue_limit,
+                        "retry_after_s": retry_after,
+                    }).encode(),
+                )
+            flight = _Flight(key=key, spec=spec,
+                             future=asyncio.get_running_loop().create_future())
+            self._inflight[key] = flight
+            self._backlog.append(flight)
+            self.stats.misses += 1
+            self.stats.queue_peak = max(self.stats.queue_peak, self.queue_depth)
+            self._wakeup.set()
+        else:
+            self.stats.coalesced += 1
+
+        # shield: this handler dying with its client must not cancel the
+        # simulation other waiters (or the cache) depend on.
+        outcome, payload = await asyncio.shield(flight.future)
+        if payload is None:
+            first_line = (outcome.error or "").splitlines() or [""]
+            return 500, (), json.dumps({
+                "error_type": outcome.error_type,
+                "error": first_line[0],
+                "quarantined": outcome.quarantined,
+                "attempts": outcome.attempts,
+            }).encode()
+        return 200, (), self._result_body(
+            key, "simulated" if created else "coalesced", payload
+        )
+
+    @staticmethod
+    def _result_body(key: str, source: str, payload: bytes) -> bytes:
+        # key/source are internally generated (hex / enum), so splicing
+        # the pre-serialized result payload in is safe.
+        return (
+            b'{"key":"' + key.encode() + b'","source":"' + source.encode()
+            + b'","result":' + payload + b"}"
+        )
+
+    # -- observability -----------------------------------------------------
+
+    def stats_dict(self) -> dict:
+        sweep = self.sweep_totals.to_dict()
+        sweep.pop("per_run", None)  # unbounded detail; keep /stats small
+        return {
+            "uptime_s": round(time.perf_counter() - self._started_at, 3),
+            "requests": self.stats.requests,
+            "hits": self.stats.hits,
+            "memory_hits": self.stats.memory_hits,
+            "store_hits": self.stats.store_hits,
+            "misses": self.stats.misses,
+            "coalesced": self.stats.coalesced,
+            "rejected": self.stats.rejected,
+            "bad_requests": self.stats.bad_requests,
+            "sim_failures": self.stats.sim_failures,
+            "hit_rate": round(self.stats.hit_rate, 6),
+            "queue_depth": self.queue_depth,
+            "queue_peak": self.stats.queue_peak,
+            "queue_limit": self.queue_limit,
+            "inflight": len(self._inflight),
+            "draining": self._draining,
+            "jobs": self.jobs,
+            "store": self.store.counters(),
+            "sweep": sweep,
+        }
+
+
+async def serve_forever(server: SweepServer, *, port_file: Optional[str] = None,
+                        quiet: bool = False) -> None:
+    """Run one server until SIGINT/SIGTERM, then drain and return."""
+    import signal
+
+    await server.start()
+    if port_file:
+        with open(port_file, "w") as fh:
+            fh.write(str(server.port))
+    if not quiet:
+        print(f"[serve] listening on http://{server.host}:{server.port} "
+              f"(jobs={server.jobs}, queue_limit={server.queue_limit}, "
+              f"cache={server.store.cache_dir})", flush=True)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except (NotImplementedError, RuntimeError):
+            pass  # non-main thread / platforms without signal support
+    await stop.wait()
+    if not quiet:
+        print("[serve] draining...", flush=True)
+    await server.stop()
+    if not quiet:
+        print(f"[serve] stopped; {json.dumps(server.stats_dict()['sweep'])}",
+              flush=True)

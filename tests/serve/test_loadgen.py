@@ -1,0 +1,128 @@
+"""Loadtest client: percentiles, the report gate, and full runs against
+an in-process server (fake pool for speed; the CLI smoke simulates)."""
+
+import json
+import os
+
+import pytest
+
+from repro.__main__ import main
+from repro.serve.loadgen import LoadtestReport, percentile, run_loadtest
+from tests.serve.test_server import FakeRunner
+
+
+class TestPercentile:
+    def test_empty_sample_is_zero(self):
+        assert percentile([], 0.99) == 0.0
+
+    def test_single_sample_clamps(self):
+        assert percentile([5.0], 0.0) == 5.0
+        assert percentile([5.0], 0.99) == 5.0
+
+    def test_nearest_rank_on_known_sample(self):
+        values = list(range(100))
+        assert percentile(values, 0.0) == 0
+        assert percentile(values, 1.0) == 99
+        assert percentile(values, 0.5) == 50
+        assert percentile(values, 0.99) == 98
+
+
+class TestCheckGate:
+    def _report(self, **kw):
+        base = dict(duration_s=1.0, concurrency=4, mix=["LIB/BASE@tiny"])
+        base.update(kw)
+        return LoadtestReport(**base)
+
+    def test_passes_on_healthy_run(self):
+        report = self._report(
+            requests=10, achieved_rps=50.0, status_counts={200: 10},
+            server_stats={"hits": 5, "coalesced": 3},
+        )
+        assert report.check() == []
+        assert report.ok
+
+    def test_flags_no_hits_and_no_coalescing(self):
+        report = self._report(status_counts={200: 3},
+                              server_stats={"hits": 0, "coalesced": 0})
+        problems = report.check()
+        assert any("no cache hits" in p for p in problems)
+        assert any("coalesced" in p for p in problems)
+        assert not report.ok
+
+    def test_flags_5xx_and_transport_errors(self):
+        report = self._report(
+            status_counts={200: 8, 500: 2}, transport_errors=1,
+            server_stats={"hits": 5, "coalesced": 1},
+        )
+        problems = report.check()
+        assert report.server_errors == 2
+        assert any("5xx" in p for p in problems)
+        assert any("transport" in p for p in problems)
+
+    def test_min_rps_is_enforced_only_when_asked(self):
+        report = self._report(
+            achieved_rps=10.0, status_counts={200: 5},
+            server_stats={"hits": 5, "coalesced": 1},
+        )
+        assert report.check() == []
+        assert any("req/s" in p for p in report.check(min_rps=100.0))
+
+    def test_to_dict_round_trips_through_write(self, tmp_path):
+        report = self._report(requests=3, achieved_rps=7.5, p99_ms=1.25,
+                              status_counts={200: 3})
+        path = str(tmp_path / "sub" / "report.json")
+        report.write(path)  # creates the parent directory
+        with open(path) as fh:
+            data = json.load(fh)
+        assert data["requests"] == 3
+        assert data["latency_ms"]["p99"] == 1.25
+        assert data["status_counts"] == {"200": 3}
+        assert data["ok"] is True
+
+
+class TestRunLoadtestSpawned:
+    def test_full_run_with_fake_pool(self, tmp_path):
+        fake = FakeRunner()
+        workdir = str(tmp_path / "wd")
+        report = run_loadtest(
+            duration_s=0.4, concurrency=4, apps=("LIB",),
+            configs=("BASE", "DARSIE"), probe_burst=4,
+            workdir=workdir, run_batch=fake,
+        )
+        assert report.mix == ["LIB/BASE@tiny", "LIB/DARSIE@tiny"]
+        assert report.requests > 0
+        assert set(report.status_counts) == {200}
+        assert report.transport_errors == 0
+        assert report.p50_ms <= report.p95_ms <= report.p99_ms <= report.max_ms
+        # the probe burst collapsed onto one simulation...
+        assert report.probe["requests"] == 4
+        assert report.probe["simulated"] == 1
+        assert report.probe["coalesced"] == 3
+        # ...and warmup simulated only the one remaining cold config
+        assert fake.specs_run == 2
+        assert report.server_stats["hits"] > 0
+        assert report.check() == [] and report.ok
+        # a caller-owned workdir survives the run (CI uploads it on red)
+        assert os.path.isdir(workdir)
+        assert "[loadtest]" in report.render()
+
+    def test_cli_loadtest_real_simulation(self, tmp_path, capsys):
+        report_path = str(tmp_path / "report.json")
+        code = main([
+            "loadtest", "--duration", "0.4", "--concurrency", "4",
+            "--apps", "LIB", "--configs", "BASE",
+            "--workdir", str(tmp_path / "wd"),
+            "--check", "--report", report_path,
+        ])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "[loadtest]" in out and "coalesce probe" in out
+        with open(report_path) as fh:
+            data = json.load(fh)
+        assert data["ok"] is True
+        assert data["server_stats"]["sim_failures"] == 0
+        assert os.path.exists(str(tmp_path / "wd" / "journal.jsonl"))
+
+    def test_cli_rejects_unknown_config_mix(self):
+        with pytest.raises(SystemExit):
+            main(["loadtest", "--configs", "NOPE", "--duration", "0.1"])

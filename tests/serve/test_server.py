@@ -1,0 +1,411 @@
+"""The asyncio sweep service: validation, coalescing, backpressure,
+disconnect survival, hit paths, failure reporting, graceful shutdown.
+
+Every test runs a real :class:`SweepServer` on an ephemeral port inside
+``asyncio.run`` and speaks real HTTP to it; the simulation pool is
+replaced by a deterministic in-test batch runner (a ``threading.Event``
+gates its completion, since it runs on the pump's worker thread).  One
+end-to-end test at the bottom exercises the real ``run_specs`` path.
+"""
+
+import asyncio
+import json
+import os
+import threading
+import time
+from collections import Counter
+
+import pytest
+
+from repro.config import ExecPolicy
+from repro.harness import parallel
+from repro.harness.parallel import RunOutcome, RunSpec, SweepStats, cache_key, cache_path
+from repro.harness.runner import RunResult
+from repro.serve.loadgen import build_request
+from repro.serve.server import SweepServer
+from repro.timing import SimStats, small_config
+from repro.timing.gpu import SimulationResult
+
+
+def make_result(spec, cycles=123) -> RunResult:
+    sim = SimulationResult(
+        frontend_name=spec.config_name,
+        cycles=cycles,
+        stats=SimStats(cycles=cycles),
+        per_sm_stats=[],
+        config=small_config(num_sms=1),
+    )
+    return RunResult(workload=spec.abbr, config_name=spec.config_name,
+                     sim=sim, energy_pj=42.0)
+
+
+class FakeRunner:
+    """Stands in for run_specs: records batches, optionally blocks on a
+    threading.Event (it runs on the pump's executor thread) or fails."""
+
+    def __init__(self, release=None, fail=False):
+        self.calls = []
+        self.release = release
+        self.fail = fail
+
+    @property
+    def specs_run(self):
+        return sum(len(batch) for batch in self.calls)
+
+    def __call__(self, specs):
+        self.calls.append(list(specs))
+        if self.release is not None:
+            assert self.release.wait(timeout=10), "test never released the runner"
+        outcomes = []
+        for spec in specs:
+            if self.fail:
+                outcomes.append(RunOutcome(
+                    spec=spec, result=None, error="boom\ndetail",
+                    error_type="RuntimeError",
+                ))
+            else:
+                outcomes.append(RunOutcome(spec=spec, result=make_result(spec)))
+        stats = SweepStats(runs=len(specs),
+                           simulated=0 if self.fail else len(specs),
+                           failures=len(specs) if self.fail else 0)
+        return outcomes, stats
+
+
+def body(abbr="LIB", variant="BASE", scale="tiny", **extra) -> bytes:
+    data = {"abbr": abbr, "variant": variant, "scale": scale}
+    data.update(extra)
+    return json.dumps(data).encode()
+
+
+async def request(port, method, path, payload=b"", keep_reader=False):
+    """One HTTP exchange; returns (status, headers, parsed body)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(build_request("127.0.0.1", method, path, payload))
+    await writer.drain()
+    head = await reader.readuntil(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, sep, value = line.partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or 0)
+    raw = await reader.readexactly(length) if length else b""
+    writer.close()
+    try:
+        parsed = json.loads(raw.decode()) if raw else None
+    except ValueError:
+        parsed = raw
+    return status, headers, parsed
+
+
+async def wait_until(predicate, timeout=5.0, message="condition not met"):
+    deadline = time.perf_counter() + timeout
+    while time.perf_counter() < deadline:
+        if predicate():
+            return
+        await asyncio.sleep(0.01)
+    raise AssertionError(message)
+
+
+def serve_test(test_coro, **server_kwargs):
+    """Boot a server on an ephemeral port, run the coroutine, drain."""
+    async def main():
+        server = SweepServer(port=0, **server_kwargs)
+        await server.start()
+        try:
+            await test_coro(server)
+        finally:
+            await asyncio.wait_for(server.stop(), timeout=15)
+    asyncio.run(main())
+
+
+class TestValidation:
+    def test_bad_requests_are_400_with_strict_errors(self, tmp_path):
+        fake = FakeRunner()
+
+        async def scenario(server):
+            # malformed JSON
+            status, _, reply = await request(server.port, "POST", "/run", b"{nope")
+            assert status == 400 and "not valid JSON" in reply["error"]
+            # unknown top-level key: the strict from_dict error verbatim
+            status, _, reply = await request(
+                server.port, "POST", "/run", body(bogus=1))
+            assert status == 400
+            assert "unknown key" in reply["error"] and "bogus" in reply["error"]
+            # unknown nested key
+            status, _, reply = await request(
+                server.port, "POST", "/run", body(gpu={"no_such_knob": 3}))
+            assert status == 400 and "no_such_knob" in reply["error"]
+            # unknown variant / workload / scale
+            status, _, reply = await request(
+                server.port, "POST", "/run", body(variant="NOPE"))
+            assert status == 400 and "unknown variant" in reply["error"]
+            status, _, reply = await request(
+                server.port, "POST", "/run", body(abbr="NOPE"))
+            assert status == 400 and "unknown workload" in reply["error"]
+            status, _, reply = await request(
+                server.port, "POST", "/run", body(scale="huge"))
+            assert status == 400 and "unknown scale" in reply["error"]
+            # wrong method / path
+            status, _, _ = await request(server.port, "GET", "/run")
+            assert status == 405
+            status, _, _ = await request(server.port, "GET", "/nothing")
+            assert status == 404
+            assert server.stats.bad_requests == 6
+            assert fake.calls == []  # nothing ever reached the pool
+
+        serve_test(scenario, run_batch=fake, cache_dir=str(tmp_path / "c"))
+
+
+class TestCoalescing:
+    def test_n_identical_requests_one_simulation(self, tmp_path):
+        release = threading.Event()
+        fake = FakeRunner(release=release)
+
+        async def scenario(server):
+            tasks = [
+                asyncio.ensure_future(request(server.port, "POST", "/run", body()))
+                for _ in range(6)
+            ]
+            try:
+                await wait_until(
+                    lambda: server.stats.coalesced == 5,
+                    message="5 of 6 identical requests should coalesce",
+                )
+                assert server.stats.misses == 1
+            finally:
+                release.set()
+            replies = await asyncio.gather(*tasks)
+            assert all(status == 200 for status, _, _ in replies)
+            sources = Counter(reply["source"] for _, _, reply in replies)
+            assert sources == {"simulated": 1, "coalesced": 5}
+            keys = {reply["key"] for _, _, reply in replies}
+            assert len(keys) == 1
+            assert fake.specs_run == 1  # exactly one simulation ran
+            status, _, stats = await request(server.port, "GET", "/stats")
+            assert status == 200
+            assert stats["coalesced"] == 5 and stats["misses"] == 1
+
+        serve_test(scenario, run_batch=fake, cache_dir=str(tmp_path / "c"))
+
+    def test_distinct_configs_do_not_coalesce(self, tmp_path):
+        fake = FakeRunner()
+
+        async def scenario(server):
+            await request(server.port, "POST", "/run", body(variant="BASE"))
+            await request(server.port, "POST", "/run", body(variant="DARSIE"))
+            assert server.stats.coalesced == 0
+            assert fake.specs_run == 2
+
+        serve_test(scenario, run_batch=fake, cache_dir=str(tmp_path / "c"))
+
+
+class TestBackpressure:
+    def test_queue_full_is_429_with_retry_after(self, tmp_path):
+        release = threading.Event()
+        fake = FakeRunner(release=release)
+
+        async def scenario(server):
+            first = asyncio.ensure_future(
+                request(server.port, "POST", "/run", body(variant="BASE")))
+            try:
+                await wait_until(lambda: server.stats.misses == 1)
+                # the queue (depth 1, limit 1) is full: a *distinct*
+                # config must be refused, politely
+                status, headers, reply = await request(
+                    server.port, "POST", "/run", body(variant="DARSIE"))
+                assert status == 429
+                assert int(headers["retry-after"]) >= 1
+                assert reply["queue_limit"] == 1
+                assert server.stats.rejected == 1
+                # ...but a *duplicate* coalesces for free, no 429
+                dup = asyncio.ensure_future(
+                    request(server.port, "POST", "/run", body(variant="BASE")))
+                await wait_until(lambda: server.stats.coalesced == 1)
+            finally:
+                release.set()
+            status, _, _ = await first
+            assert status == 200
+            status, _, _ = await dup
+            assert status == 200
+
+        serve_test(scenario, run_batch=fake, queue_limit=1,
+                   cache_dir=str(tmp_path / "c"))
+
+
+class TestDisconnect:
+    def test_client_disconnect_does_not_cancel_shared_simulation(self, tmp_path):
+        release = threading.Event()
+        fake = FakeRunner(release=release)
+
+        async def scenario(server):
+            # first client fires the request and slams the connection
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            writer.write(build_request("127.0.0.1", "POST", "/run", body()))
+            await writer.drain()
+            await wait_until(lambda: server.stats.misses == 1)
+            writer.close()  # gone before any response
+
+            # second client wants the same config mid-flight
+            second = asyncio.ensure_future(
+                request(server.port, "POST", "/run", body()))
+            try:
+                await wait_until(lambda: server.stats.coalesced == 1)
+            finally:
+                release.set()
+            status, _, reply = await second
+            assert status == 200
+            assert reply["source"] == "coalesced"
+            assert reply["result"]["cycles"] == 123
+            assert fake.specs_run == 1  # the shared simulation survived
+
+        serve_test(scenario, run_batch=fake, cache_dir=str(tmp_path / "c"))
+
+
+class TestHitPaths:
+    def test_simulated_then_memory_hit(self, tmp_path):
+        fake = FakeRunner()
+
+        async def scenario(server):
+            status, _, reply = await request(server.port, "POST", "/run", body())
+            assert status == 200 and reply["source"] == "simulated"
+            status, _, reply = await request(server.port, "POST", "/run", body())
+            assert status == 200 and reply["source"] == "memory"
+            assert fake.specs_run == 1
+            assert server.stats.hits == 1 and server.stats.hit_rate == 0.5
+
+        serve_test(scenario, run_batch=fake, cache_dir=str(tmp_path / "c"))
+
+    def test_disk_store_hit_without_any_simulation(self, tmp_path):
+        """A warm sharded store serves a fresh server's first request."""
+        cache_dir = str(tmp_path / "c")
+        spec = RunSpec(abbr="LIB", config_name="BASE", scale="tiny")
+        key = cache_key(spec)
+        assert parallel._cache_store(
+            cache_path(spec, key, cache_dir), key, make_result(spec, cycles=999))
+        fake = FakeRunner()
+
+        async def scenario(server):
+            status, _, reply = await request(server.port, "POST", "/run", body())
+            assert status == 200
+            assert reply["source"] == "store"
+            assert reply["key"] == key
+            assert reply["result"]["cycles"] == 999
+            assert fake.calls == []
+
+        serve_test(scenario, run_batch=fake, cache_dir=cache_dir)
+
+    def test_policy_is_execution_only_not_identity(self, tmp_path):
+        """Per-request ExecPolicy reaches the spec but never the key."""
+        fake = FakeRunner()
+
+        async def scenario(server):
+            await request(server.port, "POST", "/run",
+                          body(policy={"max_retries": 2, "timeout_s": 9.0}))
+            spec = fake.calls[0][0]
+            assert spec.policy == ExecPolicy(max_retries=2, timeout_s=9.0)
+            # same run under a different policy: served from memory, no
+            # second simulation — policy is excluded from the identity
+            status, _, reply = await request(
+                server.port, "POST", "/run", body(policy={"max_retries": 7}))
+            assert status == 200 and reply["source"] == "memory"
+            assert fake.specs_run == 1
+
+        serve_test(scenario, run_batch=fake, cache_dir=str(tmp_path / "c"))
+
+
+class TestFailures:
+    def test_sim_failure_is_500_and_not_cached(self, tmp_path):
+        fake = FakeRunner(fail=True)
+
+        async def scenario(server):
+            status, _, reply = await request(server.port, "POST", "/run", body())
+            assert status == 500
+            assert reply["error_type"] == "RuntimeError"
+            assert reply["error"] == "boom"  # first line only
+            assert server.stats.sim_failures == 1
+            # a failure must not poison the store: next request retries
+            status, _, _ = await request(server.port, "POST", "/run", body())
+            assert status == 500
+            assert fake.specs_run == 2
+
+        serve_test(scenario, run_batch=fake, cache_dir=str(tmp_path / "c"))
+
+
+class TestLifecycle:
+    def test_stats_and_healthz_shape(self, tmp_path):
+        fake = FakeRunner()
+
+        async def scenario(server):
+            await request(server.port, "POST", "/run", body())
+            status, _, stats = await request(server.port, "GET", "/stats")
+            assert status == 200
+            for field in ("requests", "hits", "misses", "coalesced", "rejected",
+                          "hit_rate", "queue_depth", "queue_limit", "queue_peak",
+                          "sweep", "store", "uptime_s"):
+                assert field in stats, field
+            assert stats["sweep"]["runs"] == 1
+            assert "per_run" not in stats["sweep"]  # kept bounded
+            status, _, health = await request(server.port, "GET", "/healthz")
+            assert status == 200 and health["ok"] and not health["draining"]
+
+        serve_test(scenario, run_batch=fake, cache_dir=str(tmp_path / "c"))
+
+    def test_draining_refuses_new_simulations(self, tmp_path):
+        fake = FakeRunner()
+
+        async def scenario(server):
+            server._draining = True  # listener still up: drain window
+            status, _, reply = await request(server.port, "POST", "/run", body())
+            assert status == 503 and "draining" in reply["error"]
+            server._draining = False
+
+        serve_test(scenario, run_batch=fake, cache_dir=str(tmp_path / "c"))
+
+    def test_graceful_stop_drains_inflight_work(self, tmp_path):
+        release = threading.Event()
+        fake = FakeRunner(release=release)
+
+        async def main():
+            server = SweepServer(port=0, run_batch=fake,
+                                 cache_dir=str(tmp_path / "c"))
+            await server.start()
+            pending = asyncio.ensure_future(
+                request(server.port, "POST", "/run", body()))
+            await wait_until(lambda: server.stats.misses == 1)
+            stopper = asyncio.ensure_future(server.stop())
+            await asyncio.sleep(0.05)
+            assert not stopper.done()  # stop waits for the drain
+            release.set()
+            await asyncio.wait_for(stopper, timeout=15)
+            status, _, reply = await asyncio.wait_for(pending, timeout=5)
+            assert status == 200 and reply["source"] == "simulated"
+
+        asyncio.run(main())
+
+
+class TestEndToEnd:
+    def test_real_simulation_store_and_journal(self, tmp_path):
+        """Default pool path: a real tiny run lands in the sharded store
+        and the journal, then serves hits."""
+        cache_dir = str(tmp_path / "cache")
+        journal = str(tmp_path / "journal.jsonl")
+
+        async def scenario(server):
+            status, _, reply = await request(server.port, "POST", "/run", body())
+            assert status == 200 and reply["source"] == "simulated"
+            cycles = reply["result"]["cycles"]
+            assert cycles > 0
+            status, _, again = await request(server.port, "POST", "/run", body())
+            assert again["source"] == "memory"
+            assert again["result"]["cycles"] == cycles
+
+        serve_test(scenario, cache_dir=cache_dir, journal=journal, jobs=1)
+
+        spec = RunSpec(abbr="LIB", config_name="BASE", scale="tiny")
+        key = cache_key(spec)
+        assert os.path.exists(cache_path(spec, key, cache_dir))  # sharded entry
+        entries = parallel.load_journal(journal)
+        assert entries[key]["ok"] is True
