@@ -9,8 +9,10 @@ Usage::
     python -m repro figure8 --jobs 4 --no-cache
     python -m repro run MM --config DARSIE --set darsie.skip_ports=4 --trace
     python -m repro sweep darsie.skip_ports --values 1,2,4,8 --apps MM
-    python -m repro lint [MM,LIB] [--strict]
+    python -m repro lint [MM,LIB] [--strict] [--format json] [--melded]
     python -m repro soundness --scale tiny
+    python -m repro meld-verify --scale tiny
+    python -m repro compare-techniques --scale tiny
     python -m repro bench --scale small --out BENCH_timing.json
     python -m repro bench --scale tiny --baseline benchmarks/BENCH_baseline_tiny.json
     python -m repro config-check
@@ -36,10 +38,14 @@ import time
 from repro.config import ConfigError, RunConfig, apply_overrides, parse_overrides
 from repro.harness import parallel
 from repro.harness.experiments import EXPERIMENT_REGISTRY, ablation_sweep
-from repro.workloads import ALL_ABBRS
+from repro.workloads import ALL_ABBRS, EXTENDED_ABBRS
 
-COMMANDS = ["list", "all", "run", "sweep", "lint", "soundness", "bench", "config-check",
-            "chaos", "serve", "loadtest"]
+COMMANDS = ["list", "all", "run", "sweep", "lint", "soundness", "meld-verify", "bench",
+            "config-check", "chaos", "serve", "loadtest"]
+
+#: Extra keys commands may stage for the --stats-dump payload (written in
+#: main()'s finally, which would otherwise overwrite a command's dump).
+_EXTRA_DUMP: dict = {}
 
 
 def run_one(name: str, scale: str, abbrs, gpu_config=None, parser=None) -> None:
@@ -105,6 +111,12 @@ def main(argv=None) -> int:
                         help="delete all cached results before running")
     parser.add_argument("--strict", action="store_true",
                         help="for `lint`: treat warnings as failures too")
+    parser.add_argument("--format", dest="output_format", default="text",
+                        choices=["text", "json"],
+                        help="for `lint`: report format (default: text)")
+    parser.add_argument("--melded", action="store_true",
+                        help="for `lint`: lint each kernel after the "
+                             "control-flow melding transform as well")
     parser.add_argument("--repeats", type=int, default=2, metavar="N",
                         help="for `bench`: timing repeats per entry (default: 2)")
     parser.add_argument("--out", default="BENCH_timing.json", metavar="PATH",
@@ -164,7 +176,9 @@ def main(argv=None) -> int:
                              "X req/s (default: off)")
     args = parser.parse_args(argv)
     if args.scale is None:
-        args.scale = "tiny" if args.experiment in ("chaos", "loadtest") else "small"
+        args.scale = (
+            "tiny" if args.experiment in ("chaos", "loadtest", "meld-verify") else "small"
+        )
 
     try:
         overrides = parse_overrides(args.overrides)
@@ -195,6 +209,7 @@ def _write_stats_dump(path: str) -> None:
 
     stats = parallel.last_sweep_stats()
     payload = {"last_sweep": stats.to_dict() if stats is not None else None}
+    payload.update(_EXTRA_DUMP)
     try:
         with open(path, "w") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
@@ -215,6 +230,9 @@ def _dispatch(parser, args, overrides) -> int:
 
     if args.experiment == "soundness":
         return run_soundness(parser, args)
+
+    if args.experiment == "meld-verify":
+        return run_meld_verify(parser, args)
 
     if args.experiment == "bench":
         return run_bench_cmd(parser, args, overrides)
@@ -250,9 +268,9 @@ def _dispatch(parser, args, overrides) -> int:
     abbrs = None
     if args.apps:
         abbrs = tuple(a.strip().upper() for a in args.apps.split(","))
-        unknown = set(abbrs) - set(ALL_ABBRS)
+        unknown = set(abbrs) - set(EXTENDED_ABBRS)
         if unknown:
-            parser.error(f"unknown apps: {sorted(unknown)}; known: {ALL_ABBRS}")
+            parser.error(f"unknown apps: {sorted(unknown)}; known: {EXTENDED_ABBRS}")
 
     names = list(EXPERIMENT_REGISTRY) if args.experiment == "all" else [args.experiment]
     for name in names:
@@ -274,33 +292,72 @@ def run_list() -> int:
     return 0
 
 
-def _resolve_abbrs(parser, args):
-    """Kernel selection for `lint`/`soundness`: positional, --apps, or all."""
+def _resolve_abbrs(parser, args, default=ALL_ABBRS):
+    """Kernel selection for `lint`/`soundness`/...: positional, --apps,
+    or the command's default set."""
     spec = args.workload or args.apps
     if not spec:
-        return ALL_ABBRS
+        return default
     abbrs = tuple(a.strip().upper() for a in spec.split(","))
-    unknown = set(abbrs) - set(ALL_ABBRS)
+    unknown = set(abbrs) - set(EXTENDED_ABBRS)
     if unknown:
-        parser.error(f"unknown apps: {sorted(unknown)}; known: {ALL_ABBRS}")
+        parser.error(f"unknown apps: {sorted(unknown)}; known: {EXTENDED_ABBRS}")
     return abbrs
 
 
 def run_lint(parser, args) -> int:
-    """`python -m repro lint [ABBR,ABBR,...] [--scale S] [--strict]`."""
-    from repro.staticlib import lint_workload
+    """`python -m repro lint [ABBR,...] [--scale S] [--strict]
+    [--format json] [--melded]`."""
+    import json
+
+    from repro.staticlib import lint_program, lint_workload
     from repro.workloads import build_workload
 
-    abbrs = _resolve_abbrs(parser, args)
-    errors = warnings = 0
+    abbrs = _resolve_abbrs(parser, args, default=EXTENDED_ABBRS)
+    reports = []   # (abbr, melded?, LintReport)
     for abbr in abbrs:
-        report = lint_workload(build_workload(abbr, args.scale))
-        errors += len(report.errors)
-        warnings += len(report.warnings)
-        print(f"{abbr:>8}: {report.render()}")
-    failed = errors or (args.strict and warnings)
-    print(f"\nlint: {len(abbrs)} kernel(s), {errors} error(s), {warnings} warning(s)"
-          + (" [strict]" if args.strict else ""))
+        workload = build_workload(abbr, args.scale)
+        reports.append((abbr, False, lint_workload(workload)))
+        if args.melded:
+            from repro.staticlib.passes import darm_ideal_pass
+
+            melded = darm_ideal_pass(workload.program)
+            reports.append((abbr, True, lint_program(melded, launch=workload.launch)))
+    errors = sum(len(r.errors) for _, _, r in reports)
+    warnings = sum(len(r.warnings) for _, _, r in reports)
+    failed = bool(errors or (args.strict and warnings))
+
+    if args.output_format == "json":
+        payload = {
+            "kernels": [
+                {
+                    "abbr": abbr,
+                    "scale": args.scale,
+                    "melded": melded,
+                    "findings": [
+                        {
+                            "rule": f.rule,
+                            "severity": f.severity,
+                            "pc": f.pc,
+                            "message": f.message,
+                        }
+                        for f in report.findings
+                    ],
+                }
+                for abbr, melded, report in reports
+            ],
+            "errors": errors,
+            "warnings": warnings,
+            "strict": args.strict,
+            "failed": failed,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for abbr, melded, report in reports:
+            tag = f"{abbr}+meld" if melded else abbr
+            print(f"{tag:>13}: {report.render()}")
+        print(f"\nlint: {len(reports)} kernel(s), {errors} error(s), "
+              f"{warnings} warning(s)" + (" [strict]" if args.strict else ""))
     return 1 if failed else 0
 
 
@@ -308,9 +365,48 @@ def run_soundness(parser, args) -> int:
     """`python -m repro soundness [--scale S] [--apps ABBR,...]`."""
     from repro.staticlib import audit_all
 
-    abbrs = _resolve_abbrs(parser, args)
+    abbrs = _resolve_abbrs(parser, args, default=EXTENDED_ABBRS)
     report = audit_all(scale=args.scale, abbrs=abbrs)
     print(report.render())
+    return 0 if report.ok else 1
+
+
+def run_meld_verify(parser, args) -> int:
+    """`python -m repro meld-verify [--scale S] [--apps ABBR,...]
+    [--workdir DIR] [--stats-dump PATH]`.
+
+    Differentially verifies the control-flow melding transform: every
+    selected workload runs functionally with and without melding and
+    must produce bit-identical memory and register state (plus a
+    linter-clean melded program).  Exits nonzero on any mismatch.
+    """
+    import json
+    import os as _os
+
+    from repro.staticlib.verify import verify_all
+
+    abbrs = _resolve_abbrs(parser, args, default=EXTENDED_ABBRS)
+    journal = None
+    if args.workdir:
+        _os.makedirs(args.workdir, exist_ok=True)
+        journal = open(_os.path.join(args.workdir, "journal.jsonl"), "w")
+    start = time.perf_counter()
+
+    def progress(check):
+        print(f"  {check.summary()}", flush=True)
+        if journal is not None:
+            journal.write(json.dumps(check.to_dict(), sort_keys=True) + "\n")
+            journal.flush()
+
+    try:
+        report = verify_all(scale=args.scale, abbrs=abbrs, progress=progress)
+    finally:
+        if journal is not None:
+            journal.close()
+    _EXTRA_DUMP["meld_verify"] = report.to_dict()
+    print()
+    print(report.render())
+    print(f"\n[meld-verify done in {time.perf_counter() - start:.1f}s]")
     return 0 if report.ok else 1
 
 
@@ -483,8 +579,8 @@ def run_workload(parser, args, overrides) -> int:
     from repro.timing.gpu import GPU
     from repro.variants import REGISTRY
 
-    if not args.workload or args.workload.upper() not in ALL_ABBRS:
-        parser.error(f"run needs a workload from {ALL_ABBRS}")
+    if not args.workload or args.workload.upper() not in EXTENDED_ABBRS:
+        parser.error(f"run needs a workload from {EXTENDED_ABBRS}")
     cfg = RunConfig(abbr=args.workload.upper(), variant=args.config, scale=args.scale)
     try:
         cfg = apply_overrides(cfg, overrides)
@@ -506,9 +602,11 @@ def run_workload(parser, args, overrides) -> int:
     if args.json:
         print(res.sim.to_json(indent=2))
     if args.trace:
-        # Re-run with the tracer attached (traces are not cached).
+        # Re-run with the tracer attached (traces are not cached).  Use
+        # the variant's simulation program so transform-based variants
+        # (DARM) trace the melded code they actually ran.
         mem, params = runner.workload.fresh()
-        gpu = GPU(runner.workload.program, runner.workload.launch, mem,
+        gpu = GPU(runner.simulation_program(cfg.variant), runner.workload.launch, mem,
                   params=params, config=runner.gpu_config,
                   frontend_factory=runner.frontend_factory(cfg.variant, cfg.darsie))
         trace = PipelineTrace()

@@ -23,7 +23,14 @@ from repro.harness.related_work import render_table3
 from repro.harness.reporting import fmt_pct, fmt_x, format_table
 from repro.timing import GPUConfig, PASCAL_GTX1080TI, small_config
 from repro.variants import REGISTRY
-from repro.workloads import ALL_ABBRS, ONE_D_ABBRS, TWO_D_ABBRS, build_workload, table1_rows
+from repro.workloads import (
+    ALL_ABBRS,
+    EXTENDED_ABBRS,
+    ONE_D_ABBRS,
+    TWO_D_ABBRS,
+    build_workload,
+    table1_rows,
+)
 
 #: Experiment-name -> driver registry; the CLI derives its dispatch
 #: (and each driver's accepted arguments) from here via introspection,
@@ -553,3 +560,88 @@ def ablation_sync_on_write(
     labels = {False: "versioning", True: "sync-on-write"}
     result.points = [(labels[v], s) for v, s in result.points]
     return result
+
+
+# ---------------------------------------------------------------------------
+# Technique comparison — BASE vs DARSIE vs control-flow melding (DARM)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TechniqueComparisonResult:
+    """Cycles, energy and dynamic divergence for each technique."""
+
+    configs: Tuple[str, ...]
+    #: abbr -> config -> metric name -> value
+    per_workload: Dict[str, Dict[str, Dict[str, float]]]
+    sweep_stats: Optional[SweepStats] = field(default=None, repr=False, compare=False)
+
+    def metric(self, abbr: str, config: str, name: str) -> float:
+        return self.per_workload[abbr][config][name]
+
+    def divergence_reduction(self, abbr: str, config: str) -> float:
+        """Fraction of baseline divergence-serialized instruction slots
+        the technique removed (1.0 = all divergence eliminated)."""
+        base = self.per_workload[abbr]["BASE"]["serialized"]
+        if base == 0:
+            return 0.0
+        return 1.0 - self.per_workload[abbr][config]["serialized"] / base
+
+    def render(self) -> str:
+        headers = [
+            "App", "Config", "Cycles", "Speedup", "Energy (nJ)",
+            "DivBranches", "Serialized",
+        ]
+        rows = []
+        for abbr, by_config in self.per_workload.items():
+            for config in self.configs:
+                m = by_config[config]
+                rows.append([
+                    abbr, config,
+                    f"{int(m['cycles'])}",
+                    fmt_x(m["speedup"]),
+                    f"{m['energy_pj'] / 1e3:.1f}",
+                    f"{int(m['divergent_branches'])}",
+                    f"{int(m['serialized'])}",
+                ])
+        return format_table(
+            headers, rows,
+            title="Technique comparison: redundancy elimination (DARSIE) "
+                  "vs control-flow melding (DARM)",
+        )
+
+
+@experiment(name="compare-techniques")
+def compare_techniques(
+    scale: str = "tiny",
+    abbrs: Optional[Sequence[str]] = None,
+    gpu_config: Optional[GPUConfig] = None,
+) -> TechniqueComparisonResult:
+    """BASE / DARSIE / DARM / DARM-IDEAL across all workloads.
+
+    DARSIE attacks *redundant* instructions (dimensionality analysis);
+    DARM attacks *divergent* control flow (melding).  Table 1 kernels
+    are divergence-free, the divergent suite is redundancy-light, so
+    each technique dominates on its own territory — the point of the
+    matrix.
+    """
+    if abbrs is None:
+        abbrs = EXTENDED_ABBRS
+    configs = ("BASE", "DARSIE") + REGISTRY.by_tag("technique")
+    results, stats = parallel.sweep(abbrs, configs, scale=scale, gpu_config=gpu_config)
+    per: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for abbr in abbrs:
+        base_cycles = results[abbr, "BASE"].cycles
+        per[abbr] = {}
+        for config in configs:
+            res = results[abbr, config]
+            per[abbr][config] = {
+                "cycles": float(res.cycles),
+                "speedup": base_cycles / res.cycles,
+                "energy_pj": res.energy_pj,
+                "divergent_branches": float(res.stats.divergent_branches),
+                "serialized": float(res.stats.divergence_serialized_instructions),
+            }
+    return TechniqueComparisonResult(
+        configs=configs, per_workload=per, sweep_stats=stats
+    )

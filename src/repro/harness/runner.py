@@ -20,6 +20,7 @@ from repro.baselines import build_dac_profile
 from repro.config import RunConfig
 from repro.core import CompilerAnalysis, DarsieConfig, DarsieFrontend, analyze_program
 from repro.energy import EnergyModel, PASCAL_ENERGY_MODEL, get_energy_model
+from repro.isa.program import Program
 from repro.simt import Tracer, run_functional
 from repro.simt.tracer import ExecutionTrace
 from repro.timing import GPUConfig, SimulationResult, simulate, small_config
@@ -74,6 +75,7 @@ class WorkloadRunner:
         self._results: Dict[str, RunResult] = {}
         self._dac_profile = None
         self._trace: Optional[ExecutionTrace] = None
+        self._transformed: Dict[str, Program] = {}
 
     @classmethod
     def from_config(
@@ -114,6 +116,25 @@ class WorkloadRunner:
     def variant(self, name: str) -> Variant:
         return self.registry.get(name)
 
+    def simulation_program(self, name: str) -> Program:
+        """The program the timing simulator runs for variant ``name``.
+
+        Variants declaring a :attr:`~repro.variants.Variant.staticlib_pass`
+        (the DARM melding configurations) simulate the transformed
+        program; everything else simulates the workload's program as
+        written.  Transforms are cached per variant name.  Ad-hoc names
+        that aren't registered (explicit-knob DARSIE ablation points)
+        run the original program.
+        """
+        if name not in self.registry:
+            return self.workload.program
+        variant = self.registry.get(name)
+        if variant.staticlib_pass is None:
+            return self.workload.program
+        if name not in self._transformed:
+            self._transformed[name] = variant.staticlib_pass(self.workload.program)
+        return self._transformed[name]
+
     def frontend_factory(
         self, name: str, darsie_config: Optional[DarsieConfig] = None
     ) -> Optional[Callable]:
@@ -139,7 +160,7 @@ class WorkloadRunner:
         factory = self.frontend_factory(config_name, darsie_config)
         mem, params = self.workload.fresh()
         sim = simulate(
-            self.workload.program,
+            self.simulation_program(config_name),
             self.workload.launch,
             mem,
             params=params,

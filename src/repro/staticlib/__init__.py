@@ -1,14 +1,16 @@
-"""Static-analysis framework over :class:`repro.isa.program.Program`.
+"""Static-analysis *and transform* framework over
+:class:`repro.isa.program.Program`.
 
 DARSIE's whole-program guarantee rests on the static marking pass never
 over-promoting an instruction to DR (Section 4.2): a definitely-redundant
 instruction is *skipped* by follower warps, so a marking that is wrong at
 runtime silently corrupts results.  This subpackage provides the
-independent machinery to check that, and to machine-check kernels people
-add before they ever reach the simulator:
+independent machinery to check that, to machine-check kernels people add
+before they ever reach the simulator, and — since the melding work — to
+*rewrite* programs under the same invariants:
 
 - :mod:`repro.staticlib.cfg` — CFG construction (blocks, branch and
-  fallthrough edges, reachability, traversal orders);
+  fallthrough edges, reachability, traversal orders, divergent regions);
 - :mod:`repro.staticlib.dominators` — dominator / post-dominator trees
   (Cooper-Harvey-Kennedy);
 - :mod:`repro.staticlib.dataflow` — a generic gen/kill worklist solver;
@@ -22,19 +24,50 @@ add before they ever reach the simulator:
 - :mod:`repro.staticlib.soundness` — the marking soundness cross-checker:
   replays workloads through :mod:`repro.simt.tracer` and asserts every
   statically-DR instruction is dynamically uniform across all warps of
-  every TB.
+  every TB;
+- :mod:`repro.staticlib.regions` — SESE diamond discovery over the CFG
+  (the meldable divergent regions of DARM);
+- :mod:`repro.staticlib.meld` — instruction-sequence alignment,
+  legality, profitability scoring and the predicated splice emitter;
+- :mod:`repro.staticlib.passes` — the :class:`PassManager` pipeline that
+  applies melds and refuses any transform the linter or the
+  reaching-definitions invariants reject;
+- :mod:`repro.staticlib.verify` — the differential harness executing
+  melded vs unmelded kernels through the functional executor
+  (``python -m repro meld-verify``).
 
 Layering: ``cfg``/``dominators``/``dataflow``/``reaching``/``liveness``
-depend only on :mod:`repro.isa` (the compiler pass itself calls into
-them); ``lint`` and ``soundness`` additionally consume
-:mod:`repro.core` and :mod:`repro.simt`.
+and the transform stack (``regions``/``meld``/``passes``) depend only on
+:mod:`repro.isa` (the compiler pass itself calls into them); ``lint``,
+``soundness`` and ``verify`` additionally consume :mod:`repro.core` and
+:mod:`repro.simt`.
 """
 
-from repro.staticlib.cfg import EXIT_BLOCK, ControlFlowGraph
+from repro.staticlib.cfg import EXIT_BLOCK, ControlFlowGraph, region_between
 from repro.staticlib.dataflow import solve_gen_kill
 from repro.staticlib.dominators import dominates, dominator_tree, postdominator_tree
 from repro.staticlib.lint import RULES, Finding, LintReport, lint_program, lint_workload
 from repro.staticlib.liveness import Liveness
+from repro.staticlib.meld import (
+    DEFAULT_THRESHOLD,
+    MeldError,
+    MeldPlan,
+    MeldRecord,
+    align_arms,
+    apply_meld,
+    check_legality,
+    meldable_plans,
+    plan_meld,
+)
+from repro.staticlib.passes import (
+    MeldPass,
+    PassManager,
+    PipelineResult,
+    Rejection,
+    darm_ideal_pass,
+    darm_pass,
+    meld_program,
+)
 from repro.staticlib.reaching import (
     ENTRY_PC,
     Definition,
@@ -42,6 +75,7 @@ from repro.staticlib.reaching import (
     UninitializedRead,
     find_uninitialized_reads,
 )
+from repro.staticlib.regions import Diamond, arm_instructions, find_diamonds
 from repro.staticlib.soundness import (
     SoundnessReport,
     SoundnessViolation,
@@ -50,29 +84,65 @@ from repro.staticlib.soundness import (
     audit_trace,
     audit_workload,
 )
+from repro.staticlib.verify import (
+    MeldVerifyReport,
+    WorkloadMeldCheck,
+    verify_all,
+    verify_workload,
+)
 
 __all__ = [
+    # cfg / dominators / dataflow
     "EXIT_BLOCK",
     "ControlFlowGraph",
+    "region_between",
     "dominator_tree",
     "postdominator_tree",
     "dominates",
     "solve_gen_kill",
+    # reaching / liveness
     "ENTRY_PC",
     "Definition",
     "ReachingDefinitions",
     "UninitializedRead",
     "find_uninitialized_reads",
     "Liveness",
+    # lint
     "RULES",
     "Finding",
     "LintReport",
     "lint_program",
     "lint_workload",
+    # soundness
     "SoundnessReport",
     "SoundnessViolation",
     "WorkloadAudit",
     "audit_all",
     "audit_trace",
     "audit_workload",
+    # regions / meld / passes (the DARM transform stack)
+    "Diamond",
+    "arm_instructions",
+    "find_diamonds",
+    "DEFAULT_THRESHOLD",
+    "MeldError",
+    "MeldPlan",
+    "MeldRecord",
+    "align_arms",
+    "apply_meld",
+    "check_legality",
+    "meldable_plans",
+    "plan_meld",
+    "MeldPass",
+    "PassManager",
+    "PipelineResult",
+    "Rejection",
+    "darm_pass",
+    "darm_ideal_pass",
+    "meld_program",
+    # differential verification
+    "MeldVerifyReport",
+    "WorkloadMeldCheck",
+    "verify_all",
+    "verify_workload",
 ]

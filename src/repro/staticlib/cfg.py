@@ -181,3 +181,10 @@ class ControlFlowGraph:
                 if s != EXIT_BLOCK:
                     stack.append(s)
         return frozenset(region)
+
+
+def region_between(program, branch_pc: int, stop_pc=None) -> FrozenSet[int]:
+    """Module-level convenience for
+    :meth:`ControlFlowGraph.region_between`: the divergent region of the
+    branch at ``branch_pc``, computed on a freshly built CFG."""
+    return ControlFlowGraph.from_program(program).region_between(branch_pc, stop_pc)

@@ -180,7 +180,23 @@ class ReachingDefinitions:
         lane mask, so every lane that reads did write.  Coverage is
         deliberately block-local: across blocks the mask equality would
         need path-sensitive reasoning.
+
+        A second refinement covers the *melded* idiom the control-flow
+        melding pass emits (:mod:`repro.staticlib.meld`): writes of the
+        same variable under **both polarities** of one predicate
+        (``@$p mul $m, ...`` then ``@!$p mul $m, ...``) jointly cover
+        every active lane — within a block the active mask is constant,
+        and each lane satisfies exactly one polarity — so any later
+        same-block read of that variable (guarded or not) is
+        initialized.  Redefining the predicate between the pair and the
+        read invalidates the fact, as above.
         """
+
+        def _fully_covered(keys: set) -> bool:
+            return any(
+                (name, True) in keys for (name, neg) in keys if not neg
+            )
+
         out: List[UninitializedRead] = []
         for block in self.program.blocks:
             if block.index not in self.cfg.reachable:
@@ -195,7 +211,10 @@ class ReachingDefinitions:
                 for var in var_reads(inst):
                     if Definition(ENTRY_PC, var) not in facts:
                         continue
-                    if guard_key is not None and guard_key in covered.get(var, ()):
+                    keys = covered.get(var, set())
+                    if guard_key is not None and guard_key in keys:
+                        continue
+                    if _fully_covered(keys):
                         continue
                     out.append(UninitializedRead(pc=inst.pc, var=var))
                 d = var_def(inst)

@@ -438,6 +438,7 @@ class SMCore:
 
         eliminate_kind = self.frontend.eliminate_at_issue(wrt, inst)
         overrides = entry.overrides or {}
+        depth_before = len(wrt.warp.stack)
         result = self.engine.execute_instruction(
             wrt.tb_rt.tb,
             wrt.warp,
@@ -446,6 +447,10 @@ class SMCore:
             pred_overrides=overrides.get("preds"),
         )
         stats.instructions_executed += 1
+        if depth_before > 1:
+            stats.divergence_serialized_instructions += 1
+        if inst.is_branch and len(wrt.warp.stack) > depth_before:
+            stats.divergent_branches += 1
 
         if eliminate_kind is not None:
             stats.executions_eliminated += 1

@@ -69,6 +69,11 @@ class SimStats:
     freelist_syncs: int = 0
     load_entries_invalidated: int = 0
     warps_left_majority: int = 0
+    #: branches that actually split a warp (pushed a reconvergence entry)
+    divergent_branches: int = 0
+    #: instructions issued while the warp's SIMT stack was divergent —
+    #: the serialized work control-flow melding (DARM) removes
+    divergence_serialized_instructions: int = 0
     energy_events: Counter = field(default_factory=Counter)
 
     def count(self, event: EnergyEvent, n: int = 1) -> None:

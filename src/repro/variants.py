@@ -29,6 +29,8 @@ from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from repro.baselines import DacIdealFrontend, UVFrontend
 from repro.core import DarsieConfig, DarsieFrontend
+from repro.isa.program import Program
+from repro.staticlib.passes import darm_ideal_pass, darm_pass
 from repro.timing.frontend import SiliconSyncFrontend
 
 
@@ -53,6 +55,13 @@ class Variant:
     #: ``(energy_model, stats, num_sms) -> fraction`` of dynamic energy
     #: spent in the variant's added hardware (``None``: no overhead)
     overhead_fraction: Optional[Callable] = field(default=None, compare=False)
+    #: ``program -> program`` static rewrite applied before simulation
+    #: (``None``: run the workload's program as written).  This is how
+    #: compiler-technique variants (DARM melding) flow through the
+    #: timing simulator, bench gate and sweep service unchanged.
+    staticlib_pass: Optional[Callable[[Program], Program]] = field(
+        default=None, compare=False
+    )
 
 
 class VariantRegistry:
@@ -197,6 +206,22 @@ def register_default_variants(registry: VariantRegistry = REGISTRY) -> None:
         make_frontend=_silicon_sync_frontend,
         tags=("fig12",),
         description="hardware-synchronization cost bound (Figure 12)",
+    ))
+    registry.register(Variant(
+        name="DARM",
+        make_frontend=_no_frontend,
+        tags=("technique",),
+        description="DARM control-flow melding, default profitability "
+                    "threshold (compare-techniques)",
+        staticlib_pass=darm_pass,
+    ))
+    registry.register(Variant(
+        name="DARM-IDEAL",
+        make_frontend=_no_frontend,
+        tags=("technique",),
+        description="control-flow melding of every legal divergent "
+                    "region, no profitability bar",
+        staticlib_pass=darm_ideal_pass,
     ))
 
 

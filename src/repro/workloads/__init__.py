@@ -10,6 +10,9 @@ substrate; DESIGN.md documents the substitution.
 from repro.workloads.base import SCALES, Workload
 from repro.workloads.registry import (
     ALL_ABBRS,
+    DIVERGENT_ABBRS,
+    DIVERGENT_TABLE,
+    EXTENDED_ABBRS,
     ONE_D_ABBRS,
     TABLE1,
     TWO_D_ABBRS,
@@ -22,6 +25,9 @@ __all__ = [
     "SCALES",
     "Workload",
     "ALL_ABBRS",
+    "DIVERGENT_ABBRS",
+    "DIVERGENT_TABLE",
+    "EXTENDED_ABBRS",
     "ONE_D_ABBRS",
     "TWO_D_ABBRS",
     "TABLE1",

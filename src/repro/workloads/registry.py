@@ -52,14 +52,34 @@ ONE_D_ABBRS: Tuple[str, ...] = ("BIN", "PT", "FW", "SR1", "LIB")
 TWO_D_ABBRS: Tuple[str, ...] = ("IMNLM", "BP", "DCT8x8", "FWS", "HS", "CP", "CONVTEX", "MM")
 ALL_ABBRS: Tuple[str, ...] = ONE_D_ABBRS + TWO_D_ABBRS
 
+#: The divergent suite: small kernels with real data-/lane-dependent
+#: if-then-else diamonds, built to exercise control-flow melding
+#: (``python -m repro meld-verify`` / ``compare-techniques``).  The 13
+#: Table 1 kernels only branch on loop back-edges, so the melder is a
+#: no-op on them; these are kept in their own table so ``TABLE1`` /
+#: ``ALL_ABBRS`` (and every golden pinned to them) are untouched.
+DIVERGENT_TABLE: Dict[str, Table1Entry] = {
+    e.abbr: e
+    for e in [
+        Table1Entry("DIVEO", "DivergeEvenOdd", "divergent", (64, 1), "diveo"),
+        Table1Entry("DIVABS", "DivergeAbsRescale", "divergent", (128, 1), "divabs"),
+        Table1Entry("DIVSQ", "DivergeThresholdSqrt", "divergent", (64, 1), "divsq"),
+    ]
+}
+
+DIVERGENT_ABBRS: Tuple[str, ...] = tuple(DIVERGENT_TABLE)
+
+#: Everything buildable by :func:`build_workload`.
+EXTENDED_ABBRS: Tuple[str, ...] = ALL_ABBRS + DIVERGENT_ABBRS
+
 
 def build_workload(abbr: str, scale: str = "small") -> Workload:
-    """Instantiate one Table 1 workload at the given scale."""
+    """Instantiate one Table 1 (or divergent-suite) workload."""
     require_scale(scale)
-    try:
-        entry = TABLE1[abbr]
-    except KeyError:
-        raise KeyError(f"unknown workload {abbr!r}; known: {sorted(TABLE1)}") from None
+    entry = TABLE1.get(abbr) or DIVERGENT_TABLE.get(abbr)
+    if entry is None:
+        known = sorted(TABLE1) + sorted(DIVERGENT_TABLE)
+        raise KeyError(f"unknown workload {abbr!r}; known: {known}")
     module = importlib.import_module(f"repro.workloads.kernels.{entry.module}")
     workload = module.build(scale)
     assert workload.abbr == abbr, f"{entry.module}.build returned {workload.abbr}"

@@ -11,6 +11,7 @@ class TestRegistryBasics:
         assert REGISTRY.names() == (
             "BASE", "UV", "DAC-IDEAL", "DARSIE", "DARSIE-IGNORE-STORE",
             "DARSIE-NO-CF-SYNC", "DARSIE-SYNC-ON-WRITE", "SILICON-SYNC",
+            "DARM", "DARM-IDEAL",
         )
 
     def test_get_unknown_name_lists_known(self):
@@ -73,7 +74,7 @@ class TestLegacyViewsAreTagQueries:
         every tag the experiment layer queries selects at least one
         variant — nothing is registered into the void or queried from it."""
         queried_tags = {"fig8", "reduction", "fig12", "golden", "bench",
-                        "baseline", "ablation"}
+                        "baseline", "ablation", "technique"}
         for variant in REGISTRY:
             assert variant.tags, f"{variant.name} has no tags"
             assert set(variant.tags) & queried_tags, (

@@ -1,0 +1,111 @@
+"""CLI smoke tests for `meld-verify`, the melded-lint sweep, and the
+technique-comparison matrix."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestMeldVerifyCommand:
+    def test_meld_verify_passes_and_journals(self, tmp_path, capsys):
+        workdir = tmp_path / "meld-work"
+        dump = tmp_path / "meld-stats.json"
+        assert main(["meld-verify", "--apps", "DIVEO,BIN",
+                     "--workdir", str(workdir),
+                     "--stats-dump", str(dump)]) == 0
+        out = capsys.readouterr().out
+        assert "DIVEO" in out and "meld(s)" in out
+        assert "no meldable regions" in out  # BIN has no diamonds
+
+        lines = (workdir / "journal.jsonl").read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["abbr"] for r in records] == ["DIVEO", "BIN"]
+        assert all(r["ok"] for r in records)
+        assert records[0]["melds_applied"] == 1
+
+        payload = json.loads(dump.read_text())
+        assert payload["meld_verify"]["ok"] is True
+
+    def test_meld_verify_fails_on_mismatch(self, monkeypatch, capsys):
+        """Exit nonzero when any workload check reports problems."""
+        import repro.staticlib.verify as verify_mod
+
+        real = verify_mod.verify_workload
+
+        def sabotaged(workload, transform=None):
+            check = real(workload, transform)
+            check.problems.append("injected mismatch (test)")
+            return check
+
+        monkeypatch.setattr(verify_mod, "verify_workload", sabotaged)
+        assert main(["meld-verify", "--apps", "BIN"]) == 1
+        assert "injected mismatch" in capsys.readouterr().out
+
+    def test_meld_verify_unknown_app_errors(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["meld-verify", "--apps", "NOPE"])
+        assert exc.value.code == 2
+
+
+class TestLintJsonAndMelded:
+    def test_lint_format_json_is_machine_readable(self, capsys):
+        assert main(["lint", "MM,DIVEO", "--scale", "tiny",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 0
+        assert payload["failed"] is False
+        kernels = payload["kernels"]
+        assert [k["abbr"] for k in kernels] == ["MM", "DIVEO"]
+        for k in kernels:
+            assert k["melded"] is False
+            for f in k["findings"]:
+                assert set(f) == {"rule", "severity", "pc", "message"}
+
+    def test_lint_melded_adds_post_transform_kernels(self, capsys):
+        assert main(["lint", "DIVEO", "--scale", "tiny", "--strict",
+                     "--melded", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [(k["abbr"], k["melded"]) for k in payload["kernels"]] == [
+            ("DIVEO", False), ("DIVEO", True),
+        ]
+        assert payload["strict"] is True and payload["failed"] is False
+
+    def test_lint_melded_text_tags_kernels(self, capsys):
+        assert main(["lint", "DIVEO", "--scale", "tiny", "--melded"]) == 0
+        out = capsys.readouterr().out
+        assert "DIVEO+meld" in out
+        assert "2 kernel(s)" in out
+
+
+class TestSoundnessExitCode:
+    def test_soundness_exits_nonzero_on_violation(self, monkeypatch, capsys):
+        """Regression pin: a failing audit must not exit 0."""
+        import repro.staticlib
+
+        class FakeReport:
+            ok = False
+
+            @staticmethod
+            def render():
+                return "1 violation(s): fake DR over-promotion"
+
+        monkeypatch.setattr(repro.staticlib, "audit_all",
+                            lambda scale, abbrs: FakeReport())
+        assert main(["soundness", "--apps", "MM", "--scale", "tiny"]) == 1
+        assert "violation" in capsys.readouterr().out
+
+    def test_soundness_covers_divergent_suite_by_default(self, capsys):
+        assert main(["soundness", "--apps", "DIVEO,DIVABS,DIVSQ",
+                     "--scale", "tiny"]) == 0
+        assert "sound" in capsys.readouterr().out
+
+
+class TestCompareTechniques:
+    def test_matrix_renders_divergence_columns(self, capsys):
+        assert main(["compare-techniques", "--scale", "tiny",
+                     "--apps", "DIVEO", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        for needle in ("BASE", "DARSIE", "DARM", "DARM-IDEAL", "DIVEO"):
+            assert needle in out

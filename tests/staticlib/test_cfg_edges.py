@@ -1,0 +1,147 @@
+"""CFG construction edge cases: self-loops, backward branches into block
+interiors, single-instruction kernels — plus property-based checks over
+randomly generated (linter-validated) programs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import assemble
+from repro.staticlib import EXIT_BLOCK, ControlFlowGraph, lint_program
+
+
+class TestConcreteEdgeCases:
+    def test_single_instruction_kernel(self):
+        program = assemble("    exit\n", name="k")
+        cfg = ControlFlowGraph.from_program(program)
+        assert len(cfg.blocks) == 1
+        assert cfg.succ[0] == (EXIT_BLOCK,)
+        assert cfg.reachable == frozenset({0})
+        assert cfg.rpo == (0,)
+
+    def test_self_loop(self):
+        src = """
+    mov.u32        $i, 0
+spin:
+    add.u32        $i, $i, 1
+    setp.lt.u32    $p0, $i, 10
+@$p0 bra spin
+    exit
+"""
+        program = assemble(src, name="k")
+        cfg = ControlFlowGraph.from_program(program)
+        spin = cfg.block_of_pc(program.labels["spin"]).index
+        assert spin in cfg.succ[spin]
+        assert spin in cfg.pred[spin]
+        assert cfg.reachable == frozenset(b.index for b in program.blocks)
+
+    def test_backward_branch_into_block_interior_splits_it(self):
+        """A backward branch whose target is mid-straight-line code must
+        force a block boundary exactly at the target."""
+        src = """
+    mov.u32        $i, 0
+    add.u32        $a, $i, 1
+mid:
+    add.u32        $a, $a, 2
+    add.u32        $a, $a, 3
+    setp.lt.u32    $p0, $a, 100
+@$p0 bra mid
+    exit
+"""
+        program = assemble(src, name="k")
+        cfg = ControlFlowGraph.from_program(program)
+        target = program.labels["mid"]
+        # the target is a block *leader*, not an interior pc
+        assert any(b.start_pc == target for b in program.blocks)
+        header = cfg.block_of_pc(target).index
+        assert header != cfg.block_of_pc(0).index
+        assert header in cfg.succ[header] or any(
+            header in cfg.succ[b.index] for b in program.blocks
+            if b.index != header
+        )
+
+    def test_unconditional_backward_branch_makes_tail_unreachable(self):
+        src = """
+top:
+    add.u32        $a, $a, 1
+    bra top
+    mov.u32        $b, 7
+    exit
+"""
+        program = assemble(src, name="k")
+        cfg = ControlFlowGraph.from_program(program)
+        tail = cfg.block_of_pc(program.labels["top"] + 2 * 8).index
+        assert tail not in cfg.reachable
+        assert not cfg.is_reachable_pc(program.instructions[-1].pc)
+
+
+# -- property-based sweep ---------------------------------------------------
+
+ARITH = ("add.u32        $a, $a, 1",
+         "mul.u32        $a, $a, 3",
+         "add.u32        $b, $a, 2")
+
+
+@st.composite
+def random_kernels(draw):
+    """A small straight-line body with 0-2 guarded branches whose targets
+    land on arbitrary instructions (backward, forward, or self)."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    body = [draw(st.sampled_from(ARITH)) for _ in range(n)]
+    n_branches = draw(st.integers(min_value=0, max_value=2))
+    branch_at = draw(st.lists(st.integers(min_value=0, max_value=n),
+                              min_size=n_branches, max_size=n_branches))
+    targets = [draw(st.integers(min_value=0, max_value=n))
+               for _ in range(n_branches)]
+    lines = ["    mov.u32        $a, 0",
+             "    setp.lt.u32    $p0, $a, 5"]
+    # label every body slot so any target is addressable
+    for idx, text in enumerate(body):
+        lines.append(f"L{idx}:")
+        lines.append(f"    {text}")
+    lines.append(f"L{n}:")
+    lines.append("    exit")
+    for pos, tgt in sorted(zip(branch_at, targets), reverse=True):
+        # insert after label L{pos} line; guarded so fallthrough survives
+        insert_at = 2 + 2 * pos + 1
+        lines.insert(insert_at, f"@$p0 bra L{tgt}")
+    return "\n".join(lines) + "\n"
+
+
+@given(random_kernels())
+@settings(max_examples=60, deadline=None)
+def test_cfg_invariants_hold_on_random_programs(src):
+    program = assemble(src, name="rand")
+    report = lint_program(program)
+    # the linter is the validity filter: generated programs must never
+    # trip the structural (malformed control flow) rules
+    structural = [f for f in report.findings if "branch" in f.rule]
+    assert structural == [], structural
+
+    cfg = ControlFlowGraph.from_program(program)
+
+    # entry is always reachable and leads the rpo
+    assert 0 in cfg.reachable
+    assert cfg.rpo[0] == 0
+    # rpo enumerates exactly the reachable blocks, once each
+    assert sorted(cfg.rpo) == sorted(cfg.reachable)
+    assert len(set(cfg.rpo)) == len(cfg.rpo)
+
+    # pred/succ duality over real blocks and the virtual exit
+    for a in [b.index for b in program.blocks]:
+        for s in cfg.succ[a]:
+            assert a in cfg.pred[s]
+    for b in [b.index for b in program.blocks] + [EXIT_BLOCK]:
+        for p in cfg.pred[b]:
+            assert b in cfg.succ[p]
+
+    # every branch target is a block leader
+    for inst in program.instructions:
+        if inst.is_branch:
+            assert any(b.start_pc == inst.target_pc for b in program.blocks)
+
+    # pc reachability agrees with block reachability
+    for block in program.blocks:
+        for inst in block:
+            assert cfg.is_reachable_pc(inst.pc) == (
+                block.index in cfg.reachable
+            )

@@ -1,0 +1,391 @@
+"""The DARM melding transform: regions, alignment, legality, emission,
+and the verifying pass pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import assemble
+from repro.isa.instructions import INSTRUCTION_BYTES
+from repro.staticlib import (
+    DEFAULT_THRESHOLD,
+    PassManager,
+    align_arms,
+    apply_meld,
+    check_legality,
+    find_diamonds,
+    meld_program,
+    meldable_plans,
+    plan_meld,
+)
+from repro.staticlib.meld import MeldRecord
+from repro.staticlib.passes import _lint_fingerprint
+
+DIAMOND_SRC = """
+.param x
+.param out
+    mul.u32        $o, %tid.x, 4
+    add.u32        $o, $o, %param.x
+    ld.global.f32  $v, [$o]
+    setp.lt.f32    $p0, $v, 0.0
+@$p0 bra neg
+    mul.f32        $v, $v, 2.0
+    add.f32        $y, $v, 1.0
+    bra join
+neg:
+    mul.f32        $v, $v, 4.0
+    add.f32        $y, $v, 1.0
+join:
+    mul.u32        $o, %tid.x, 4
+    add.u32        $o, $o, %param.out
+    st.global.f32  [$o], $y
+    exit
+"""
+
+TRIANGLE_SRC = """
+.param x
+    mul.u32        $o, %tid.x, 4
+    add.u32        $o, $o, %param.x
+    ld.global.f32  $v, [$o]
+    setp.ge.f32    $p0, $v, 0.0
+@$p0 bra join
+    neg.f32        $v, $v
+join:
+    st.global.f32  [$o], $v
+    exit
+"""
+
+LOOP_SRC = """
+.param n
+    mov.u32        $i, 0
+loop:
+    add.u32        $i, $i, 1
+    setp.lt.u32    $p0, $i, %param.n
+@$p0 bra loop
+    exit
+"""
+
+
+class TestFindDiamonds:
+    def test_diamond_found(self):
+        program = assemble(DIAMOND_SRC, name="k")
+        diamonds = find_diamonds(program)
+        assert len(diamonds) == 1
+        d = diamonds[0]
+        assert d.taken_arm is not None and d.fall_arm is not None
+        assert program.at(d.branch_pc).guard is not None
+        assert d.join_pc == program.labels["join"]
+
+    def test_triangle_found_with_empty_taken_arm(self):
+        program = assemble(TRIANGLE_SRC, name="k")
+        diamonds = find_diamonds(program)
+        assert len(diamonds) == 1
+        assert diamonds[0].taken_arm is None
+        assert diamonds[0].fall_arm is not None
+
+    def test_loop_backedge_is_not_a_diamond(self):
+        assert find_diamonds(assemble(LOOP_SRC, name="k")) == []
+
+    def test_table1_kernels_have_no_diamonds(self):
+        from repro.workloads import build_workload
+
+        for abbr in ("BIN", "PT", "MM"):
+            assert find_diamonds(build_workload(abbr, "tiny").program) == []
+
+
+class TestLegality:
+    def _illegal(self, arm_body: str) -> str:
+        src = f"""
+.param x
+    ld.global.f32  $v, [%param.x]
+    setp.lt.f32    $p0, $v, 0.0
+@$p0 bra arm
+    add.f32        $v, $v, 1.0
+    bra join
+arm:
+{arm_body}
+join:
+    st.global.f32  [%param.x], $v
+    exit
+"""
+        program = assemble(src, name="k")
+        diamonds = find_diamonds(program)
+        assert len(diamonds) == 1
+        reason = check_legality(program, diamonds[0])
+        assert reason is not None
+        return reason
+
+    def test_barrier_arm_rejected(self):
+        assert "bar.sync" in self._illegal("    bar.sync\n    sub.f32 $v, $v, 1.0")
+
+    def test_predicated_arm_rejected(self):
+        assert "already predicated" in self._illegal("@$p0 sub.f32 $v, $v, 1.0")
+
+    def test_guard_redefinition_rejected(self):
+        assert "redefines branch predicate" in self._illegal(
+            "    setp.gt.f32 $p0, $v, 2.0\n    sub.f32 $v, $v, 1.0"
+        )
+
+    def test_legal_diamond_passes(self):
+        program = assemble(DIAMOND_SRC, name="k")
+        assert check_legality(program, find_diamonds(program)[0]) is None
+
+
+class TestAlignment:
+    def test_identical_arms_fully_match(self):
+        program = assemble(DIAMOND_SRC, name="k")
+        plan = plan_meld(program, find_diamonds(program)[0])
+        # arms: (mul, add) vs (mul, add); muls differ in immediate, adds match
+        assert plan.taken_len == 2 and plan.fall_len == 2
+        assert plan.matched == 1
+        assert plan.similarity == pytest.approx(0.5)
+        assert plan.profitable(DEFAULT_THRESHOLD)
+
+    def test_align_is_ordered_lcs(self):
+        program = assemble(DIAMOND_SRC, name="k")
+        d = find_diamonds(program)[0]
+        from repro.staticlib import arm_instructions
+
+        taken = arm_instructions(program, d.taken_arm, d.join_pc)
+        fall = arm_instructions(program, d.fall_arm, d.join_pc)
+        pairs = align_arms(taken, fall)
+        assert pairs == sorted(pairs)
+        for i, j in pairs:
+            assert str(taken[i].dst) == str(fall[j].dst)
+            assert taken[i].opcode == fall[j].opcode
+
+
+class TestApplyMeld:
+    def test_melded_program_is_straight_line(self):
+        program = assemble(DIAMOND_SRC, name="k")
+        melded = apply_meld(program, find_diamonds(program)[0])
+        assert not any(i.is_branch for i in melded.instructions)
+        # branch + two `bra join` slots removed, one matched pair deduped
+        assert len(melded.instructions) == len(program.instructions) - 3
+        # contiguous renumbering
+        for idx, inst in enumerate(melded.instructions):
+            assert inst.pc == idx * INSTRUCTION_BYTES
+            assert inst.index == idx
+
+    def test_guards_are_complementary(self):
+        program = assemble(DIAMOND_SRC, name="k")
+        melded = apply_meld(program, find_diamonds(program)[0])
+        guarded = [i for i in melded.instructions if i.guard is not None]
+        assert len(guarded) == 2  # one unique mul per arm
+        assert {g.guard_negated for g in guarded} == {False, True}
+        assert {g.guard.name for g in guarded} == {"p0"}
+
+    def test_listing_shows_new_guards(self):
+        program = assemble(DIAMOND_SRC, name="k")
+        melded = apply_meld(program, find_diamonds(program)[0])
+        listing = melded.listing()
+        assert "@$p0" in listing and "@!$p0" in listing
+        assert "bra" not in listing
+
+    def test_surviving_branch_targets_remapped(self):
+        # A loop AROUND the diamond: its backward branch must follow the
+        # loop header through the renumbering.
+        src = """
+.param x
+.param n
+    mov.u32        $i, 0
+head:
+    ld.global.f32  $v, [%param.x]
+    setp.lt.f32    $p0, $v, 0.0
+@$p0 bra neg
+    add.f32        $v, $v, 1.0
+    bra join
+neg:
+    sub.f32        $v, $v, 1.0
+join:
+    st.global.f32  [%param.x], $v
+    add.u32        $i, $i, 1
+    setp.lt.u32    $p1, $i, %param.n
+@$p1 bra head
+    exit
+"""
+        program = assemble(src, name="k")
+        diamonds = find_diamonds(program)
+        assert len(diamonds) == 1
+        melded = apply_meld(program, diamonds[0])
+        back = [i for i in melded.instructions if i.is_branch]
+        assert len(back) == 1
+        assert back[0].target_pc == melded.labels["head"]
+        # the loop header label moved up by the removed slots
+        assert melded.labels["head"] == program.labels["head"]
+
+
+class TestPassManager:
+    def test_melds_profitable_diamond(self):
+        program = assemble(DIAMOND_SRC, name="k")
+        result = meld_program(program)
+        assert result.changed
+        assert len(result.applied) == 1
+        assert result.applied[0].similarity == pytest.approx(0.5)
+        assert not result.rejected
+
+    def test_threshold_gates_darm_but_not_ideal(self):
+        # Arms with nothing in common: similarity 0.
+        src = """
+.param x
+    ld.global.f32  $v, [%param.x]
+    setp.lt.f32    $p0, $v, 0.0
+@$p0 bra neg
+    add.f32        $v, $v, 1.0
+    bra join
+neg:
+    sub.f32        $v, $v, 2.0
+join:
+    st.global.f32  [%param.x], $v
+    exit
+"""
+        program = assemble(src, name="k")
+        assert meldable_plans(program, threshold=DEFAULT_THRESHOLD) == []
+        assert not meld_program(program).changed
+        ideal = meld_program(program, threshold=None)
+        assert ideal.changed and len(ideal.applied) == 1
+
+    @pytest.mark.filterwarnings("ignore:.*never-written.*")
+    def test_unsound_step_is_rejected_and_blocklisted(self):
+        """A pass whose output lints worse than its input is refused and
+        the pipeline terminates instead of retrying forever."""
+        program = assemble(DIAMOND_SRC, name="k")
+        # A "transform" that guards the load defining $v: $v becomes a
+        # may-def, so every later read of it flags as uninitialized — the
+        # manager's monotone fingerprint check must refuse that.
+        from dataclasses import replace as dc_replace
+
+        from repro.isa.program import Program
+
+        branch = next(i for i in program.instructions if i.is_branch)
+
+        class EvilPass:
+            name = "evil"
+
+            def __init__(self):
+                self.steps = 0
+                self.blocked = []
+
+            def step(self, prog):
+                if self.steps:
+                    return None
+                self.steps += 1
+                insts = [
+                    dc_replace(i, guard=branch.guard, text="")
+                    if i.opcode.value == "ld" else i
+                    for i in prog.instructions
+                ]
+                bad = Program(name=prog.name, instructions=insts,
+                              labels=dict(prog.labels), params=prog.params,
+                              shared_words=prog.shared_words)
+                record = MeldRecord(branch_pc=0, join_pc=0, matched=0,
+                                    taken_len=0, fall_len=0,
+                                    similarity=0.0, saved_slots=0)
+                return bad, record
+
+            def block(self, prog, record):
+                self.blocked.append(record.branch_pc)
+
+        evil = EvilPass()
+        result = PassManager([evil]).run(program)
+        assert not result.changed
+        assert result.program is program
+        assert len(result.rejected) == 1
+        assert "grew" in result.rejected[0].reason
+        assert evil.blocked == [0]
+
+    @pytest.mark.filterwarnings("ignore:.*never-written.*")
+    def test_monotone_not_absolute(self):
+        """A kernel that already lints dirty can still be melded, as long
+        as nothing gets worse."""
+        # $u is read but never written: one uninitialized-read finding
+        # before AND after the meld.
+        src = """
+.param x
+    ld.global.f32  $v, [%param.x]
+    add.f32        $v, $v, $u
+    setp.lt.f32    $p0, $v, 0.0
+@$p0 bra neg
+    add.f32        $v, $v, 1.0
+    bra join
+neg:
+    add.f32        $v, $v, 2.0
+join:
+    st.global.f32  [%param.x], $v
+    exit
+"""
+        program = assemble(src, name="k")
+        _, uninit_before = _lint_fingerprint(program)
+        assert uninit_before == 1
+        result = meld_program(program, threshold=None)
+        assert result.changed
+        _, uninit_after = _lint_fingerprint(result.program)
+        assert uninit_after == 1
+
+
+class TestComplementaryGuardCoverage:
+    """The reaching-definitions refinement the melded idiom depends on:
+    writes under @$p and @!$p jointly cover every lane."""
+
+    def test_complementary_writes_cover_later_read(self):
+        from repro.staticlib import find_uninitialized_reads
+
+        src = """
+.param x
+    ld.global.f32  $v, [%param.x]
+    setp.lt.f32    $p0, $v, 0.0
+@$p0 mov.f32       $m, 1.0
+@!$p0 mov.f32      $m, 2.0
+    st.global.f32  [%param.x], $m
+    exit
+"""
+        assert find_uninitialized_reads(assemble(src, name="k")) == ()
+
+    def test_single_polarity_write_does_not_cover(self):
+        from repro.staticlib import find_uninitialized_reads
+
+        src = """
+.param x
+    ld.global.f32  $v, [%param.x]
+    setp.lt.f32    $p0, $v, 0.0
+@$p0 mov.f32       $m, 1.0
+    st.global.f32  [%param.x], $m
+    exit
+"""
+        reads = find_uninitialized_reads(assemble(src, name="k"))
+        assert [r.display_name for r in reads] == ["$m"]
+
+    def test_predicate_redefinition_invalidates_coverage(self):
+        from repro.staticlib import find_uninitialized_reads
+
+        src = """
+.param x
+    ld.global.f32  $v, [%param.x]
+    setp.lt.f32    $p0, $v, 0.0
+@$p0 mov.f32       $m, 1.0
+    setp.gt.f32    $p0, $v, 2.0
+@!$p0 mov.f32      $m, 2.0
+    st.global.f32  [%param.x], $m
+    exit
+"""
+        reads = find_uninitialized_reads(assemble(src, name="k"))
+        assert [r.display_name for r in reads] == ["$m"]
+
+
+class TestMeldedExecution:
+    def test_melded_diamond_bit_identical(self):
+        from repro import Dim3, GlobalMemory, LaunchConfig, run_functional
+
+        program = assemble(DIAMOND_SRC, name="k")
+        melded = apply_meld(program, find_diamonds(program)[0])
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal(32)
+
+        def run(prog):
+            mem = GlobalMemory(4096)
+            px = mem.alloc_array(x)
+            pout = mem.alloc(32)
+            launch = LaunchConfig(grid_dim=Dim3(1), block_dim=Dim3(32))
+            run_functional(prog, launch, mem, params={"x": px, "out": pout})
+            return mem.words.copy()
+
+        assert np.array_equal(run(program), run(melded))

@@ -1,0 +1,38 @@
+"""The SIMT-stack divergence counters and their response to melding."""
+
+from repro.harness.runner import WorkloadRunner
+from repro.workloads import build_workload
+
+
+class TestDivergenceCounters:
+    def test_divergent_kernel_counts_serialized_work(self):
+        runner = WorkloadRunner(build_workload("DIVEO", "tiny"))
+        stats = runner.run("BASE").stats
+        assert stats.divergent_branches > 0
+        assert stats.divergence_serialized_instructions > 0
+        # every serialized instruction was issued under a split stack,
+        # so there are at least as many as there are divergent branches
+        assert (stats.divergence_serialized_instructions
+                >= stats.divergent_branches)
+
+    def test_melding_eliminates_divergence(self):
+        runner = WorkloadRunner(build_workload("DIVEO", "tiny"))
+        base = runner.run("BASE").stats
+        darm = runner.run("DARM").stats
+        assert base.divergent_branches > 0
+        assert darm.divergent_branches == 0
+        assert darm.divergence_serialized_instructions == 0
+        assert darm.instructions_executed < base.instructions_executed
+
+    def test_uniform_kernel_never_diverges(self):
+        runner = WorkloadRunner(build_workload("MM", "tiny"))
+        stats = runner.run("BASE").stats
+        assert stats.divergent_branches == 0
+        assert stats.divergence_serialized_instructions == 0
+
+    def test_darm_is_identity_on_table1_kernel(self):
+        runner = WorkloadRunner(build_workload("BIN", "tiny"))
+        base = runner.run("BASE")
+        darm = runner.run("DARM")
+        assert darm.cycles == base.cycles
+        assert darm.stats.instructions_executed == base.stats.instructions_executed
