@@ -41,7 +41,7 @@ from repro.harness.experiments import EXPERIMENT_REGISTRY, ablation_sweep
 from repro.workloads import ALL_ABBRS, EXTENDED_ABBRS
 
 COMMANDS = ["list", "all", "run", "sweep", "lint", "soundness", "meld-verify", "bench",
-            "config-check", "chaos", "serve", "loadtest"]
+            "config-check", "chaos", "serve", "loadtest", "fuzz"]
 
 #: Extra keys commands may stage for the --stats-dump payload (written in
 #: main()'s finally, which would otherwise overwrite a command's dump).
@@ -137,7 +137,16 @@ def main(argv=None) -> int:
                         help="sweep journal: skip specs already completed in a "
                              "previous (possibly killed) run, append new ones")
     parser.add_argument("--seed", type=int, default=0, metavar="N",
-                        help="for `chaos`: fault-plan seed (default: 0)")
+                        help="for `chaos`/`fuzz`: campaign seed (default: 0)")
+    parser.add_argument("--budget", type=int, default=200, metavar="M",
+                        help="for `fuzz`: number of random kernels to generate "
+                             "(default: 200)")
+    parser.add_argument("--corpus", default=None, metavar="DIR",
+                        help="for `fuzz`: corpus directory to replay and save "
+                             "shrunk failures into (default: tests/corpus)")
+    parser.add_argument("--no-save", action="store_true",
+                        help="for `fuzz`: do not write shrunk failures to the "
+                             "corpus directory")
     parser.add_argument("--workdir", default=None, metavar="DIR",
                         help="for `chaos`/`loadtest`: persistent working "
                              "directory for the cache + journal (default: a "
@@ -248,6 +257,9 @@ def _dispatch(parser, args, overrides) -> int:
 
     if args.experiment == "loadtest":
         return run_loadtest_cmd(parser, args)
+
+    if args.experiment == "fuzz":
+        return run_fuzz(parser, args)
 
     if args.experiment == "list":
         return run_list()
@@ -463,6 +475,63 @@ def run_chaos(parser, args) -> int:
     print(report.render())
     print(f"\n[chaos soak done in {time.perf_counter() - start:.1f}s]")
     return 0 if report.ok else 1
+
+
+def run_fuzz(parser, args) -> int:
+    """`python -m repro fuzz [--seed N] [--budget M] [--corpus DIR]
+    [--no-save] [--workdir DIR] [--stats-dump PATH]`.
+
+    First replays every committed corpus program (previously shrunk
+    counterexamples) through all four differential oracles, then runs a
+    fresh hypothesis campaign of ``--budget`` random kernels.  Exits
+    nonzero if any corpus program or fresh candidate fails; a shrunk
+    reproducer is saved to the corpus directory for triage.
+    """
+    import json
+    import os as _os
+
+    from repro.fuzz import fuzz_campaign, replay_corpus
+
+    start = time.perf_counter()
+    journal = None
+    if args.workdir:
+        _os.makedirs(args.workdir, exist_ok=True)
+        journal = open(_os.path.join(args.workdir, "journal.jsonl"), "w")
+
+    def emit(record) -> None:
+        if journal is not None:
+            journal.write(json.dumps(record, sort_keys=True) + "\n")
+            journal.flush()
+
+    dump = _EXTRA_DUMP.setdefault("fuzz", {})
+    try:
+        replays = replay_corpus(args.corpus)
+        for record in replays:
+            status = "ok" if record["ok"] else "FAIL"
+            print(f"  corpus {record['name']}: {status}", flush=True)
+            emit(dict(record, phase="corpus"))
+        corpus_failures = [r for r in replays if not r["ok"]]
+        dump["corpus"] = replays
+        print(f"corpus: {len(replays)} program(s), "
+              f"{len(corpus_failures)} failure(s)")
+        for record in corpus_failures:
+            print(record["failure"])
+
+        report = fuzz_campaign(
+            seed=args.seed,
+            budget=args.budget,
+            corpus_dir=args.corpus,
+            save=not args.no_save,
+        )
+        dump["campaign"] = report.to_dict()
+        emit(dict(report.to_dict(), phase="campaign"))
+    finally:
+        if journal is not None:
+            journal.close()
+    print()
+    print(report.render())
+    print(f"\n[fuzz done in {time.perf_counter() - start:.1f}s]")
+    return 0 if report.ok and not corpus_failures else 1
 
 
 def run_serve(parser, args) -> int:

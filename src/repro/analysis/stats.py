@@ -3,12 +3,30 @@
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Iterable
 
 
-def geomean(values: Iterable[float]) -> float:
-    """Geometric mean; the paper reports GMEAN speedups and reductions."""
+def geomean(values: Iterable[float], *, skip_nonpositive: bool = False) -> float:
+    """Geometric mean; the paper reports GMEAN speedups and reductions.
+
+    With ``skip_nonpositive`` the mean is taken over the positive members
+    only and each dropped value is reported through :mod:`warnings` — a
+    degenerate run (zero cycles, 100% energy reduction) then leaves the
+    figure honest instead of dragging it toward zero via a clamp.
+    """
     values = list(values)
+    if skip_nonpositive:
+        kept = [v for v in values if v > 0]
+        for v in values:
+            if v <= 0:
+                warnings.warn(
+                    f"geomean: skipping non-positive value {v!r} "
+                    f"({len(kept)}/{len(values)} kept)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        values = kept
     if not values:
         raise ValueError("geomean of empty sequence")
     if any(v <= 0 for v in values):

@@ -36,7 +36,7 @@ import numpy as np
 from repro.core.coalescer import PCCoalescer
 from repro.core.majority import MajorityPathMask
 from repro.core.promotion import promote_markings
-from repro.core.rename import RegisterRenameUnit
+from repro.core.rename import Materialization, RegisterRenameUnit
 from repro.core.skip_table import PCSkipTable, SkipTableEntry
 from repro.core.taxonomy import Marking
 from repro.isa.instructions import INSTRUCTION_BYTES, Instruction
@@ -176,8 +176,14 @@ class DarsieFrontend(Frontend):
                     or not self._skippable_here(wrt, pc)
                 ):
                     wrt.skip_blocked = False
+                    wrt.skip_parked = False
                     if pending:
                         pending.pop((tb_rt.seq, wrt.warp.warp_id), None)
+                    continue
+                if wrt.skip_parked:
+                    # Parked in the warps-waiting bitmask: nothing that
+                    # could change its classification has happened since
+                    # (a wake event clears the bit), so skip the probe.
                     continue
                 wid = (tb_rt.seq, wrt.warp.warp_id)
                 if pending.get(wid) == pc:
@@ -187,12 +193,15 @@ class DarsieFrontend(Frontend):
                     candidates.append((wid, (tb_rt.seq, pc)))
                     warp_of[wid] = (tb_rt, wrt)
                     wrt.skip_blocked = True  # released below if serviced
-                elif state == "wait":
+                elif state == "wait" or state == "park":
                     if not wrt.skip_blocked:
                         # One probe per arrival; the warps-waiting bitmask
                         # parks the warp without re-probing (4.3.2).
                         self.sm.stats.count(EnergyEvent.SKIP_TABLE_PROBE)
                     wrt.skip_blocked = True
+                    # "park" has a guaranteed wake event (the leader's
+                    # writeback); "wait" reasons are re-checked per cycle.
+                    wrt.skip_parked = state == "park"
                 elif state == "lead":
                     wrt.skip_blocked = False
                     self._leader_pending_fetch[wid] = pc
@@ -266,7 +275,11 @@ class DarsieFrontend(Frontend):
         if entry.leader_warp == warp_id:
             return "lead" if not entry.leader_wb else "wait"
         if not entry.leader_wb:
-            return "wait"
+            # The dominant wait: a follower parked until LeaderWB.  The
+            # writeback (or a cancellation) is the only event that can
+            # change this answer, and both wake the TB's parked warps —
+            # so the scan need not re-probe every cycle.
+            return "park"
         return "skip"
 
     def _maybe_release_sync(self, tb_rt, st: _TBState, entry: SkipTableEntry) -> None:
@@ -292,11 +305,19 @@ class DarsieFrontend(Frontend):
         else:
             self._cancel_entry(tb_rt, st, entry)
 
+    def _wake_parked(self, tb_rt) -> None:
+        """Clear the warps-waiting park bits: something happened that can
+        change a parked warp's classification (LeaderWB, cancellation),
+        so the scan re-probes each of them once."""
+        for w in tb_rt.warps:
+            w.skip_parked = False
+
     def _cancel_entry(self, tb_rt, st: _TBState, entry: SkipTableEntry) -> None:
         """Remove an entry before all majority warps consumed it; the
         remaining warps execute the instruction privately (one-shot)."""
         st.table.remove(entry.pc)
         self.sm.note_activity()
+        self._wake_parked(tb_rt)
         key = self.program.at(entry.pc).dest_key
         members = set(st.majority.members())
         for w in tb_rt.warps:
@@ -368,6 +389,19 @@ class DarsieFrontend(Frontend):
         overrides = self._capture_sources(st, wrt, inst)
 
         key = inst.dest_key
+        if key is not None and inst.guard is not None:
+            # A guarded write may leave some (or all) live lanes holding
+            # the *old* value, and that old value may live only in the
+            # rename unit.  Hardware cannot know the guard outcome at
+            # decode, so the superseded version is copied into private
+            # space before the mapping is dropped; the (possibly partial)
+            # write then merges over the correct base.
+            vv = st.rename.read(warp_id, key)
+            if vv is not None:
+                self._materialize(
+                    wrt,
+                    [Materialization(key=key, value=vv.value.copy(), is_pred=vv.is_pred)],
+                )
         if key is not None:
             pending = st.pending_leader.setdefault(warp_id, {})
             if is_leader:
@@ -430,11 +464,17 @@ class DarsieFrontend(Frontend):
                 del pending[key]
         entry = st.table.lookup(inst.pc)
         result = meta["result"]
+        # A guarded instruction whose predicate masked off any live lane
+        # did not architecturally produce ``dest_value`` — the register
+        # kept its old (warp-private) contents there, so the value is
+        # not shareable even though the PC is statically skippable.
+        full_write = not bool(np.any(wrt.warp.hw_mask & ~result.exec_mask))
         if (
             entry is not None
             and entry.leader_warp == warp_id
             and not entry.leader_wb
             and result.dest_value is not None
+            and full_write
             and version is not None
             and st.rename.can_allocate()
         ):
@@ -448,6 +488,7 @@ class DarsieFrontend(Frontend):
             )
             entry.leader_wb = True
             entry.warps_done.add(warp_id)
+            self._wake_parked(wrt.tb_rt)
             stats = self.sm.stats
             stats.leaders_elected += 1
             stats.count(EnergyEvent.RENAME_WRITE)
@@ -516,19 +557,31 @@ class DarsieFrontend(Frontend):
         self.sm.stats.branch_barriers += 1
         return True
 
+    def _materialize(self, wrt, mats, count_energy: bool = True) -> None:
+        """Copy renamed values into a warp's architectural registers.
+
+        Writes are masked to the warp's hardware lanes: the leader's
+        version vector is 32 lanes wide, but a partial warp (TB size not
+        a multiple of 32) never writes its dead lanes under BASE, and
+        the differential end-state contract holds bit-exactly.
+        """
+        hw = wrt.warp.hw_mask
+        for mat in mats:
+            kind, name = mat.key
+            if kind == "r":
+                wrt.warp.registers.write(name, mat.value, mask=hw)
+            else:
+                wrt.warp.registers.write_pred(name, mat.value, mask=hw)
+            if count_energy:
+                self.sm.stats.count(EnergyEvent.RF_WRITE)
+
     def _leave_path(self, tb_rt, wrt) -> None:
         """Section 4.3.5: a warp leaving the majority path copies its
         redundant register values into warp-private space and clears its
         rename state."""
         st = self._st(tb_rt)
         warp_id = wrt.warp.warp_id
-        for mat in st.rename.clear_warp(warp_id):
-            kind, name = mat.key
-            if kind == "r":
-                wrt.warp.registers.write(name, mat.value)
-            else:
-                wrt.warp.registers.write_pred(name, mat.value)
-            self.sm.stats.count(EnergyEvent.RF_WRITE)
+        self._materialize(wrt, st.rename.clear_warp(warp_id))
         st.majority.clear(warp_id)
         self.sm.stats.warps_left_majority += 1
         self._recheck(tb_rt, st)
@@ -550,14 +603,7 @@ class DarsieFrontend(Frontend):
             return
         st = self._st(tb_rt)
         for warp_id, mats in st.rename.reset_all().items():
-            wrt = tb_rt.warps[warp_id]
-            for mat in mats:
-                kind, name = mat.key
-                if kind == "r":
-                    wrt.warp.registers.write(name, mat.value)
-                else:
-                    wrt.warp.registers.write_pred(name, mat.value)
-                self.sm.stats.count(EnergyEvent.RF_WRITE)
+            self._materialize(tb_rt.warps[warp_id], mats)
         for entry in st.table.entries():
             st.table.remove(entry.pc)
         st.branch_wait.clear()
@@ -566,13 +612,20 @@ class DarsieFrontend(Frontend):
         self.sm.stats.count(EnergyEvent.MAJORITY_MASK)
         for w in tb_rt.warps:
             w.skip_blocked = False
+            w.skip_parked = False
             w.bypass_pcs.clear()
 
     def on_warp_exit(self, wrt) -> None:
         tb_rt = wrt.tb_rt
         st = self._st(tb_rt)
         warp_id = wrt.warp.warp_id
-        st.rename.clear_warp(warp_id)
+        # Materialize outstanding renamed values into the architectural
+        # file so the exited warp's register state matches BASE (a warp
+        # may exit while still mapped to leader versions it never copied
+        # out).  No RF_WRITE energy is counted: real hardware simply
+        # drops a dead warp's registers, and the copy exists only to
+        # keep the differential end-state contract exact.
+        self._materialize(wrt, st.rename.clear_warp(warp_id), count_energy=False)
         st.majority.warp_exited(warp_id)
         self._recheck(tb_rt, st)
 

@@ -1,0 +1,197 @@
+"""Campaign driver: hypothesis generation + shrinking + corpus capture.
+
+:func:`fuzz_campaign` runs ``budget`` random kernels through the oracle
+stack.  On a failure hypothesis shrinks the program to a minimal
+reproducer (the :class:`~repro.fuzz.oracles.OracleFailure` carries the
+spec through the shrink), and the driver writes it to the corpus
+directory under a content-hashed name with a triage note — ``git add``
+that file to pin the bug forever via the corpus-replay test.
+
+The campaign is deterministic: same seed + budget ⇒ same candidates and
+the same shrunk counterexample (the hypothesis example database is
+disabled so state never leaks between runs).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional
+
+from repro.fuzz.oracles import OracleFailure, check_spec
+from repro.fuzz.spec import KernelSpec, default_corpus_dir
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz campaign."""
+
+    seed: int
+    budget: int
+    examples: int
+    failure: Optional[OracleFailure] = None
+    corpus_path: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    def render(self) -> str:
+        if self.ok:
+            return (
+                f"fuzz: seed={self.seed} budget={self.budget} — "
+                f"{self.examples} candidate(s) survived all oracles"
+            )
+        lines = [
+            f"fuzz: seed={self.seed} budget={self.budget} — "
+            f"oracle {self.failure.oracle!r} FAILED after {self.examples} candidate(s)"
+        ]
+        if self.corpus_path:
+            lines.append(f"minimized reproducer saved to {self.corpus_path}")
+        lines.append(str(self.failure))
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "budget": self.budget,
+            "examples": self.examples,
+            "ok": self.ok,
+            "failed_oracle": self.failure.oracle if self.failure else None,
+            "corpus_path": self.corpus_path,
+        }
+
+
+def _corpus_name(failure: OracleFailure) -> str:
+    digest = hashlib.sha256(failure.spec.source.encode()).hexdigest()[:10]
+    slug = failure.oracle.replace(":", "_").replace("-", "_")
+    return f"fuzz_{slug}_{digest}"
+
+
+def save_failure(failure: OracleFailure, corpus_dir: Optional[str] = None) -> str:
+    """Write the shrunk counterexample to the corpus; returns the path."""
+    note = f"{failure.oracle}: {failure.detail.splitlines()[0][:200]}"
+    named = replace(failure.spec, name=_corpus_name(failure), note=note)
+    return named.save(corpus_dir or default_corpus_dir())
+
+
+def fuzz_campaign(
+    seed: int,
+    budget: int,
+    corpus_dir: Optional[str] = None,
+    oracles: Optional[Dict[str, Callable[[KernelSpec], None]]] = None,
+    save: bool = True,
+) -> FuzzReport:
+    """Run one deterministic campaign; stop at the first (shrunk) failure.
+
+    One failure per campaign is deliberate: the workflow is fix → rerun,
+    so each campaign either comes back green or hands you exactly one
+    minimized program to triage.
+    """
+    if budget <= 0:
+        # Corpus-replay-only invocations (`--budget 0`) skip generation.
+        return FuzzReport(seed=seed, budget=budget, examples=0)
+
+    from hypothesis import HealthCheck, Phase, given, settings
+    from hypothesis import seed as hyp_seed
+
+    from repro.fuzz.generate import kernel_specs
+
+    progress = {"examples": 0}
+
+    @settings(
+        max_examples=budget,
+        deadline=None,
+        database=None,
+        suppress_health_check=list(HealthCheck),
+        phases=(Phase.generate, Phase.shrink),
+        report_multiple_bugs=False,
+        print_blob=False,
+    )
+    @hyp_seed(seed)
+    @given(spec=kernel_specs())
+    def _case(spec: KernelSpec) -> None:
+        progress["examples"] += 1
+        check_spec(spec, oracles=oracles)
+
+    try:
+        _case()
+    except OracleFailure as failure:
+        path = save_failure(failure, corpus_dir) if save else None
+        return FuzzReport(
+            seed=seed,
+            budget=budget,
+            examples=progress["examples"],
+            failure=failure,
+            corpus_path=path,
+        )
+    return FuzzReport(seed=seed, budget=budget, examples=progress["examples"])
+
+
+def replay_corpus(
+    corpus_dir: Optional[str] = None,
+    oracles: Optional[Dict[str, Callable[[KernelSpec], None]]] = None,
+) -> List[Dict]:
+    """Run every committed corpus program through the oracle stack.
+
+    Returns one record per program; a record with ``ok=False`` carries
+    the failure text.  Used by both ``python -m repro fuzz`` (pre-flight)
+    and ``tests/properties/test_corpus_replay.py``.
+    """
+    from repro.fuzz.spec import corpus_specs
+
+    records: List[Dict] = []
+    for path, spec in corpus_specs(corpus_dir):
+        record = {"path": path, "name": spec.name, "note": spec.note, "ok": True}
+        try:
+            check_spec(spec, oracles=oracles)
+        except OracleFailure as failure:
+            record["ok"] = False
+            record["failure"] = str(failure)
+        records.append(record)
+    return records
+
+
+def generator_health(seed: int = 0, samples: int = 100) -> Dict:
+    """Measure the raw generator: how many candidates assemble and how
+    many pass the linter *before* the ``assume`` filter.  A healthy
+    generator assembles everything and lints nearly everything — if the
+    lint rate collapses, the by-construction validity rules have rotted
+    and the fuzzer is silently discarding most of its budget."""
+    from hypothesis import HealthCheck, Phase, given, settings
+    from hypothesis import seed as hyp_seed
+
+    from repro.fuzz.generate import raw_kernel_specs
+    from repro.staticlib.lint import lint_program
+
+    stats = {"samples": 0, "assembled": 0, "lint_ok": 0, "errors": []}
+
+    @settings(
+        max_examples=samples,
+        deadline=None,
+        database=None,
+        suppress_health_check=list(HealthCheck),
+        phases=(Phase.generate,),
+    )
+    @hyp_seed(seed)
+    @given(spec=raw_kernel_specs())
+    def _sample(spec: KernelSpec) -> None:
+        stats["samples"] += 1
+        try:
+            program = spec.program()
+        except Exception as exc:  # noqa: BLE001 — counted, not raised
+            if len(stats["errors"]) < 5:
+                stats["errors"].append(f"assemble: {exc}")
+            return
+        stats["assembled"] += 1
+        report = lint_program(program)
+        if report.ok:
+            stats["lint_ok"] += 1
+        elif len(stats["errors"]) < 5:
+            findings = "; ".join(str(f) for f in report.errors[:3])
+            stats["errors"].append(f"lint: {findings}\n{spec.source}")
+
+    _sample()
+    stats["assemble_rate"] = stats["assembled"] / max(1, stats["samples"])
+    stats["lint_rate"] = stats["lint_ok"] / max(1, stats["samples"])
+    return stats

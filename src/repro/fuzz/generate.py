@@ -1,0 +1,361 @@
+"""Hypothesis strategies over the full DSL opcode surface.
+
+Kernels are generated *mostly-valid by construction* — every register is
+written before it is read on every path, loops are counted do-while
+loops off immediate bounds (so they terminate and their guards are
+DR-marked, making in-loop ``bar.sync`` legal under the divergent-barrier
+lint rule), and branch regions are forward skips — then the PR-2 linter
+is applied as the final validity filter (:func:`kernel_specs` assumes
+``lint_program(...).ok``).
+
+Race-freedom discipline (so the differential oracles are meaningful):
+
+- plain loads read the read-only ``inp`` table (index masked to
+  ``DATA_WORDS - 1``) or the thread's *own* ``out`` slot;
+- plain stores write only the thread's own ``out`` slot or its own
+  shared-memory word;
+- atomics to the shared ``acc`` word are add-only with small operands
+  (exact in float64 word storage, hence order-independent), and the
+  schedule-dependent old value is clobbered immediately.
+
+Everything else — guarded ops over DR predicates, SFU chains, CR→DR
+promotion flipping with the block shape, partial warps — is fair game.
+"""
+
+from __future__ import annotations
+
+from hypothesis import assume, strategies as st
+
+from repro.fuzz.spec import DATA_WORDS, KernelSpec
+from repro.staticlib.lint import lint_program
+
+#: Block shapes: CR→DR promotion fires for multi-dim TBs whose x extent
+#: is a power of two <= the warp size, and must stay off otherwise.
+#: The mix covers 1D/2D/3D, promotion on/off, partial warps (x*y % 32
+#: != 0) and a single-warp TB (skipping disabled at bind).
+BLOCK_DIMS = [
+    (32, 2, 1),   # promoted, 2 warps
+    (16, 4, 1),   # promoted, 2 warps
+    (8, 2, 2),    # promoted 3D, 1 warp -> skipping disabled
+    (16, 2, 1),   # promoted, single warp -> skipping disabled
+    (4, 8, 1),    # promoted, 1 warp
+    (32, 4, 1),   # promoted, 4 warps
+    (64, 1, 1),   # 1D: no promotion, 2 warps
+    (48, 2, 1),   # x not a power of two: no promotion, 3 warps
+    (20, 3, 1),   # partial warps (60 threads), no promotion
+    (32, 3, 1),   # promoted, 3 warps
+]
+
+GRID_DIMS = [(1, 1, 1), (2, 1, 1), (1, 2, 1), (2, 2, 1)]
+
+#: Registers the prologue computes; the body reads but never writes them.
+_RESERVED = ("lin", "blk", "bsz", "gid", "gaddr", "saddr")
+#: Scratch registers the prologue zero-initialises so items (including
+#: ones inside branch regions) can always use them as destinations.
+_SCRATCH_INT = ("at",)
+_SCRATCH_FLOAT = ("ft",)
+
+_INT_REGS = tuple(f"v{i}" for i in range(6))
+_FLOAT_REGS = tuple(f"f{i}" for i in range(3))
+_PREDS = tuple(f"p{i}" for i in range(4))
+
+#: Lane-varying specials (V-marked) plus the CR seed ``tid.x``.
+_VARYING_SPECIALS = ("%tid.x", "%tid.y", "%tid.z", "%laneid", "%warpid")
+#: TB-uniform specials (DR-marked).
+_UNIFORM_SPECIALS = (
+    "%ntid.x", "%ntid.y", "%ntid.z",
+    "%ctaid.x", "%ctaid.y", "%nctaid.x", "%nctaid.y",
+)
+
+_ALU2_OPS = ("add", "sub", "mul", "min", "max", "and", "or", "xor", "rem")
+_ALU1_OPS = ("mov", "abs", "neg", "not")
+_SFU_OPS = ("rcp", "sqrt", "ex2", "lg2", "sin", "cos")
+_CMPS = ("lt", "le", "gt", "ge", "eq", "ne")
+_FLOAT_IMMS = ("0.5", "1.5", "-2.25", "3.0", "-0.75", "8.0")
+
+#: Shared-memory words declared by every kernel; covers one word per
+#: thread for the largest block shape above (192 threads).
+_SHARED_WORDS = 256
+
+_SIMPLE_KINDS = (
+    "alu2", "alu2", "alu1", "mad", "shift", "div",
+    "cvt", "falu", "sfu", "setp", "selp", "guarded",
+    "ld_inp", "ld_own", "st_own", "atom_own", "atom_acc", "shared_rt",
+)
+_TOP_KINDS = _SIMPLE_KINDS + (
+    "bar", "shared_bcast", "if_region", "loop", "if_region", "loop",
+)
+_LOOP_KINDS = _SIMPLE_KINDS + ("bar", "shared_bcast")
+
+
+class _Gen:
+    """Mutable generation state: emitted lines + initialised-name sets."""
+
+    def __init__(self) -> None:
+        self.lines = []
+        self.init_ints = set(_RESERVED) | set(_SCRATCH_INT)
+        self.init_floats = set(_SCRATCH_FLOAT)
+        self.init_preds = set()
+        self.labels = 0
+        self.loops = 0
+
+    def emit(self, line: str) -> None:
+        self.lines.append(line)
+
+
+def _int_source(draw, g: _Gen) -> str:
+    """An int-valued source operand, biased toward uniform values so
+    DR marking (and therefore skipping) fires often."""
+    kind = draw(st.sampled_from(
+        ("imm", "imm", "uniform", "uniform", "reg", "reg", "reg",
+         "varying", "param")
+    ))
+    if kind == "imm":
+        return str(draw(st.integers(-64, 64)))
+    if kind == "uniform":
+        return draw(st.sampled_from(_UNIFORM_SPECIALS))
+    if kind == "varying":
+        return draw(st.sampled_from(_VARYING_SPECIALS))
+    if kind == "param":
+        return draw(st.sampled_from(("%param.inp", "%param.out", "%param.acc")))
+    return "$" + draw(st.sampled_from(sorted(g.init_ints)))
+
+
+def _float_source(draw, g: _Gen) -> str:
+    if g.init_floats and draw(st.booleans()):
+        return "$" + draw(st.sampled_from(sorted(g.init_floats)))
+    return draw(st.sampled_from(_FLOAT_IMMS))
+
+
+def _int_dest(draw, g: _Gen, conditional: bool) -> str:
+    """Pick an int destination; on conditional paths (guards, branch
+    regions) only already-initialised registers are legal dests, since
+    guarded/region writes do not count as initialisation."""
+    pool = sorted(g.init_ints - set(_RESERVED)) if conditional else list(_INT_REGS)
+    pool = pool or list(_SCRATCH_INT)
+    name = draw(st.sampled_from(pool))
+    if not conditional:
+        g.init_ints.add(name)
+    return name
+
+
+def _float_dest(draw, g: _Gen, conditional: bool) -> str:
+    pool = sorted(g.init_floats) if conditional else list(_FLOAT_REGS)
+    pool = pool or list(_SCRATCH_FLOAT)
+    name = draw(st.sampled_from(pool))
+    if not conditional:
+        g.init_floats.add(name)
+    return name
+
+
+def _pred_dest(draw, g: _Gen, conditional: bool) -> str:
+    pool = sorted(g.init_preds) if conditional else list(_PREDS)
+    name = draw(st.sampled_from(pool)) if pool else _PREDS[0]
+    if not conditional:
+        g.init_preds.add(name)
+    return name
+
+
+def _ensure_pred(draw, g: _Gen) -> str:
+    """A predicate guaranteed to be initialised (emits a setp if none is)."""
+    if not g.init_preds:
+        p = _PREDS[0]
+        g.emit(f"    setp.{draw(st.sampled_from(_CMPS))}.s32 ${p}, "
+               f"{_int_source(draw, g)}, {_int_source(draw, g)}")
+        g.init_preds.add(p)
+    return draw(st.sampled_from(sorted(g.init_preds)))
+
+
+def _emit_item(draw, g: _Gen, kind: str, conditional: bool) -> None:
+    # Sources are always drawn *before* the destination is registered as
+    # initialised, so an instruction can only read its own dest when a
+    # previous write made that legal.
+    if kind == "alu2":
+        op = draw(st.sampled_from(_ALU2_OPS))
+        a, b = _int_source(draw, g), _int_source(draw, g)
+        d = _int_dest(draw, g, conditional)
+        g.emit(f"    {op}.s32 ${d}, {a}, {b}")
+    elif kind == "alu1":
+        op = draw(st.sampled_from(_ALU1_OPS))
+        a = _int_source(draw, g)
+        d = _int_dest(draw, g, conditional)
+        g.emit(f"    {op}.s32 ${d}, {a}")
+    elif kind == "mad":
+        a, b, c = (_int_source(draw, g) for _ in range(3))
+        d = _int_dest(draw, g, conditional)
+        g.emit(f"    mad.s32 ${d}, {a}, {b}, {c}")
+    elif kind == "shift":
+        op = draw(st.sampled_from(("shl", "shr")))
+        a, b = _int_source(draw, g), _int_source(draw, g)
+        d = _int_dest(draw, g, conditional)
+        g.emit(f"    {op}.u32 ${d}, {a}, {b}")
+    elif kind == "div":
+        op = draw(st.sampled_from(("div", "rem")))
+        a, b = _int_source(draw, g), _int_source(draw, g)
+        d = _int_dest(draw, g, conditional)
+        g.emit(f"    {op}.s32 ${d}, {a}, {b}")
+    elif kind == "cvt":
+        a = _int_source(draw, g)
+        d = _float_dest(draw, g, conditional)
+        g.emit(f"    cvt.f32 ${d}, {a}")
+    elif kind == "falu":
+        op = draw(st.sampled_from(("add", "sub", "mul", "min", "max")))
+        a, b = _float_source(draw, g), _float_source(draw, g)
+        d = _float_dest(draw, g, conditional)
+        g.emit(f"    {op}.f32 ${d}, {a}, {b}")
+    elif kind == "sfu":
+        op = draw(st.sampled_from(_SFU_OPS))
+        a = _float_source(draw, g)
+        d = _float_dest(draw, g, conditional)
+        g.emit(f"    {op}.f32 ${d}, {a}")
+    elif kind == "setp":
+        p = _pred_dest(draw, g, conditional)
+        if g.init_floats and draw(st.booleans()):
+            g.emit(f"    setp.{draw(st.sampled_from(_CMPS))}.f32 ${p}, "
+                   f"{_float_source(draw, g)}, {_float_source(draw, g)}")
+        else:
+            g.emit(f"    setp.{draw(st.sampled_from(_CMPS))}.s32 ${p}, "
+                   f"{_int_source(draw, g)}, {_int_source(draw, g)}")
+    elif kind == "selp":
+        p = _ensure_pred(draw, g)
+        a, b = _int_source(draw, g), _int_source(draw, g)
+        d = _int_dest(draw, g, conditional)
+        g.emit(f"    selp.s32 ${d}, {a}, {b}, ${p}")
+    elif kind == "guarded":
+        p = _ensure_pred(draw, g)
+        bang = "!" if draw(st.booleans()) else ""
+        op = draw(st.sampled_from(_ALU2_OPS))
+        d = _int_dest(draw, g, True)  # guarded writes never initialise
+        g.emit(f"@{bang}${p} {op}.s32 ${d}, {_int_source(draw, g)}, "
+               f"{_int_source(draw, g)}")
+    elif kind == "ld_inp":
+        a = _int_source(draw, g)
+        d = _int_dest(draw, g, conditional)
+        g.emit(f"    and.s32 $at, {a}, {DATA_WORDS - 1}")
+        g.emit("    shl.u32 $at, $at, 2")
+        g.emit("    add.u32 $at, $at, %param.inp")
+        g.emit(f"    ld.global.s32 ${d}, [$at]")
+    elif kind == "ld_own":
+        d = _int_dest(draw, g, conditional)
+        g.emit(f"    ld.global.s32 ${d}, [$gaddr]")
+    elif kind == "st_own":
+        if g.init_floats and draw(st.booleans()):
+            g.emit(f"    st.global.f32 [$gaddr], {_float_source(draw, g)}")
+        else:
+            g.emit(f"    st.global.s32 [$gaddr], {_int_source(draw, g)}")
+    elif kind == "atom_own":
+        a = _int_source(draw, g)
+        d = _int_dest(draw, g, conditional)
+        g.emit(f"    atom.global.add.s32 ${d}, [$gaddr], {a}")
+    elif kind == "atom_acc":
+        # Order-exact accumulation: small masked operand, and the
+        # schedule-dependent old value is clobbered immediately.
+        a = _int_source(draw, g)
+        d = _int_dest(draw, g, conditional)
+        g.emit(f"    and.s32 $at, {a}, 255")
+        g.emit(f"    atom.global.add.s32 ${d}, [%param.acc], $at")
+        g.emit(f"    mov.s32 ${d}, 0")
+    elif kind == "shared_rt":
+        a = _int_source(draw, g)
+        d = _int_dest(draw, g, conditional)
+        g.emit(f"    st.shared.s32 [$saddr], {a}")
+        g.emit(f"    ld.shared.s32 ${d}, [$saddr]")
+    elif kind == "shared_bcast":
+        # Barrier-ordered broadcast: every thread publishes to its own
+        # shared slot, then everyone reads one fixed low slot.  The
+        # load's address is DR (immediate), so followers *skip* it and
+        # consume the leader's loaded value — the only race-free way to
+        # make a skipped load's value observable.  The trailing barrier
+        # closes the round so a later iteration's store cannot race the
+        # reads.
+        a = _int_source(draw, g)
+        d = _int_dest(draw, g, conditional)
+        word = draw(st.integers(0, 3))
+        g.emit(f"    st.shared.s32 [$saddr], {a}")
+        g.emit("    bar.sync")
+        g.emit(f"    mov.s32 $at, {word * 4}")
+        g.emit(f"    ld.shared.s32 ${d}, [$at]")
+        g.emit("    bar.sync")
+    elif kind == "bar":
+        g.emit("    bar.sync")
+    elif kind == "if_region":
+        p = _ensure_pred(draw, g)
+        bang = "!" if draw(st.booleans()) else ""
+        label = f"skip{g.labels}"
+        g.labels += 1
+        g.emit(f"@{bang}${p} bra {label}")
+        for _ in range(draw(st.integers(1, 3))):
+            _emit_item(draw, g, draw(st.sampled_from(_SIMPLE_KINDS)), True)
+        g.emit(f"{label}:")
+    elif kind == "loop":
+        idx = g.loops
+        g.loops += 1
+        counter, guard = f"lc{idx}", f"p9{idx}"
+        label = f"loop{idx}"
+        trip = draw(st.integers(2, 4))
+        g.emit(f"    mov.s32 ${counter}, 0")
+        g.emit(f"{label}:")
+        for _ in range(draw(st.integers(1, 3))):
+            _emit_item(draw, g, draw(st.sampled_from(_LOOP_KINDS)), conditional)
+        g.emit(f"    add.s32 ${counter}, ${counter}, 1")
+        g.emit(f"    setp.lt.s32 ${guard}, ${counter}, {trip}")
+        g.emit(f"@${guard} bra {label}")
+    else:  # pragma: no cover - exhaustive over the kind tables
+        raise AssertionError(f"unknown item kind {kind}")
+
+
+@st.composite
+def raw_kernel_specs(draw) -> KernelSpec:
+    """A well-formed-by-construction spec, *before* the lint filter."""
+    g = _Gen()
+    g.emit(".kernel fuzz")
+    g.emit(".param inp")
+    g.emit(".param out")
+    g.emit(".param acc")
+    g.emit(f".shared {_SHARED_WORDS}")
+    # Global linear thread id -> this thread's private out slot, plus a
+    # per-thread shared-memory slot.  Reserved: the body never writes
+    # these.  tid.y/tid.z make lin V-marked (never skipped); tid.x alone
+    # would make per-thread addresses CR and promotion would share them.
+    g.emit("    mul.s32 $lin, %tid.z, %ntid.y")
+    g.emit("    add.s32 $lin, $lin, %tid.y")
+    g.emit("    mul.s32 $lin, $lin, %ntid.x")
+    g.emit("    add.s32 $lin, $lin, %tid.x")
+    g.emit("    mul.s32 $blk, %ctaid.z, %nctaid.y")
+    g.emit("    add.s32 $blk, $blk, %ctaid.y")
+    g.emit("    mul.s32 $blk, $blk, %nctaid.x")
+    g.emit("    add.s32 $blk, $blk, %ctaid.x")
+    g.emit("    mul.s32 $bsz, %ntid.x, %ntid.y")
+    g.emit("    mul.s32 $bsz, $bsz, %ntid.z")
+    g.emit("    mad.s32 $gid, $blk, $bsz, $lin")
+    g.emit("    shl.u32 $gaddr, $gid, 2")
+    g.emit("    add.u32 $gaddr, $gaddr, %param.out")
+    g.emit("    shl.u32 $saddr, $lin, 2")
+    g.emit("    mov.s32 $at, 0")
+    g.emit("    cvt.f32 $ft, 0")
+
+    for _ in range(draw(st.integers(3, 10))):
+        _emit_item(draw, g, draw(st.sampled_from(_TOP_KINDS)), False)
+
+    # Epilogue: every thread publishes a deterministic value, so the
+    # end-state comparison always has memory to disagree about.
+    tail = "$" + draw(st.sampled_from(sorted(g.init_ints - set(_SCRATCH_INT))))
+    g.emit(f"    st.global.s32 [$gaddr], {tail}")
+    g.emit("    exit")
+
+    return KernelSpec(
+        name="fuzz",
+        source="\n".join(g.lines) + "\n",
+        grid_dim=draw(st.sampled_from(GRID_DIMS)),
+        block_dim=draw(st.sampled_from(BLOCK_DIMS)),
+        data_seed=draw(st.integers(0, 7)),
+    )
+
+
+@st.composite
+def kernel_specs(draw) -> KernelSpec:
+    """Raw specs passed through the PR-2 linter as the validity filter."""
+    spec = draw(raw_kernel_specs())
+    report = lint_program(spec.program())
+    assume(report.ok)
+    return spec

@@ -1,0 +1,260 @@
+"""The differential oracle stack: four ways DARSIE must agree with BASE.
+
+Each oracle takes a :class:`~repro.fuzz.spec.KernelSpec` and raises
+:class:`OracleFailure` on disagreement; returning normally means the
+candidate passed.  The stack:
+
+1. **functional** — run the timing simulator twice, BASE frontend vs
+   DARSIE frontend, and require the final global memory and every
+   warp's architectural register/predicate files to match *bit for
+   bit*.  Comparisons go through raw bytes, not ``==``, so NaN payloads
+   produced by overflowing float chains compare like any other value.
+2. **soundness** — replay the kernel functionally with the tracer and
+   run :func:`repro.staticlib.soundness.audit_trace` over the promoted
+   markings: static DR must be dynamically UNIFORM, promoted CR must be
+   TB-redundant.
+3. **meld** — :func:`repro.staticlib.verify.verify_workload` with the
+   ideal (thresholdless) DARM melder.
+4. **event-skip** — the DARSIE timing run with ``event_skip=True`` must
+   produce the exact ``SimulationResult.to_dict()`` of the
+   cycle-stepped run; the idle-cycle fast-forward may never change
+   simulated statistics.
+
+Register capture uses :class:`CapturingFrontend`, a pure delegator that
+snapshots register files at ``on_tb_complete`` — the last hook at which
+a threadblock's warps are still attached to the SM.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.compiler_pass import analyze_program
+from repro.core.darsie import DarsieFrontend
+from repro.fuzz.spec import KernelSpec, build_fuzz_workload
+from repro.timing.config import small_config
+from repro.timing.frontend import Frontend, NullFrontend
+from repro.timing.gpu import SimulationResult, simulate
+
+#: (tb_index, warp_id, "r"|"p", name) -> final lane vector.
+RegisterDump = Dict[Tuple[int, int, str, str], np.ndarray]
+
+
+class OracleFailure(AssertionError):
+    """One oracle rejected one spec.  Carries the spec so hypothesis'
+    shrinking re-raises the *minimal* failing program to the driver."""
+
+    def __init__(self, oracle: str, spec: KernelSpec, detail: str):
+        self.oracle = oracle
+        self.spec = spec
+        self.detail = detail
+        super().__init__(
+            f"oracle {oracle!r} failed for kernel "
+            f"(grid={spec.grid_dim}, block={spec.block_dim}, "
+            f"data_seed={spec.data_seed}):\n{detail}\n--- source ---\n{spec.source}"
+        )
+
+
+class CapturingFrontend(Frontend):
+    """Delegate every hook to ``inner``; snapshot register files into
+    ``sink`` as each threadblock completes."""
+
+    def __init__(self, inner: Frontend, sink: RegisterDump):
+        self.inner = inner
+        self.sink = sink
+        self.name = inner.name
+
+    def bind(self, sm) -> None:
+        self.sm = sm
+        self.inner.bind(sm)
+
+    def on_tb_launch(self, tb_rt) -> None:
+        self.inner.on_tb_launch(tb_rt)
+
+    def on_tb_complete(self, tb_rt) -> None:
+        self.inner.on_tb_complete(tb_rt)
+        tb_index = tb_rt.tb.tb_index
+        for wrt in tb_rt.warps:
+            rf = wrt.warp.registers
+            for name, value in rf._regs.items():
+                self.sink[(tb_index, wrt.warp.warp_id, "r", name)] = np.asarray(value).copy()
+            for name, value in rf._preds.items():
+                self.sink[(tb_index, wrt.warp.warp_id, "p", name)] = np.asarray(value).copy()
+
+    def fetch_cycle(self, cycle: int) -> None:
+        self.inner.fetch_cycle(cycle)
+
+    def next_wake(self, cycle: int) -> Optional[int]:
+        return self.inner.next_wake(cycle)
+
+    def filter_fetch(self, warp_rt, pc: int):
+        return self.inner.filter_fetch(warp_rt, pc)
+
+    def on_fetch(self, warp_rt, inst, is_leader: bool) -> Optional[Dict]:
+        return self.inner.on_fetch(warp_rt, inst, is_leader)
+
+    def eliminate_at_issue(self, warp_rt, inst) -> Optional[str]:
+        return self.inner.eliminate_at_issue(warp_rt, inst)
+
+    def on_executed(self, warp_rt, inst, result) -> None:
+        self.inner.on_executed(warp_rt, inst, result)
+
+    def on_writeback(self, warp_rt, inst, entry_meta) -> None:
+        self.inner.on_writeback(warp_rt, inst, entry_meta)
+
+    def blocks_after_branch(self, warp_rt, inst) -> bool:
+        return self.inner.blocks_after_branch(warp_rt, inst)
+
+    def on_syncthreads(self, tb_rt) -> None:
+        self.inner.on_syncthreads(tb_rt)
+
+    def on_warp_exit(self, warp_rt) -> None:
+        self.inner.on_warp_exit(warp_rt)
+
+    def on_store(self, tb_rt) -> None:
+        self.inner.on_store(tb_rt)
+
+    def on_global_communication(self) -> None:
+        self.inner.on_global_communication()
+
+
+def _darsie_factory(spec: KernelSpec) -> Callable[[], Frontend]:
+    analysis = analyze_program(spec.program())
+    return lambda: DarsieFrontend(analysis)
+
+
+def _timing_run(
+    spec: KernelSpec,
+    frontend_factory: Callable[[], Frontend],
+    event_skip: bool = True,
+) -> Tuple[SimulationResult, np.ndarray, RegisterDump]:
+    """One single-SM timing run; returns (result, memory words, registers)."""
+    memory, params = spec.fresh_memory()
+    registers: RegisterDump = {}
+    config = small_config(num_sms=1, event_skip=event_skip)
+    with np.errstate(all="ignore"):
+        result = simulate(
+            spec.program(),
+            spec.launch(),
+            memory,
+            params,
+            config=config,
+            frontend_factory=lambda: CapturingFrontend(frontend_factory(), registers),
+        )
+    return result, memory.words.copy(), registers
+
+
+def _bits_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """Bit-exact array equality: NaN == NaN iff same payload."""
+    return a.dtype == b.dtype and a.shape == b.shape and a.tobytes() == b.tobytes()
+
+
+def _diff_registers(base: RegisterDump, other: RegisterDump) -> List[str]:
+    """Bit-exact register diff; a register missing on one side is zeros
+    (the register file materializes zeros on first read)."""
+    problems: List[str] = []
+    for key in sorted(set(base) | set(other), key=str):
+        tb, warp, kind, name = key
+        a, b = base.get(key), other.get(key)
+        if a is None:
+            a = np.zeros_like(b)
+        if b is None:
+            b = np.zeros_like(a)
+        if not _bits_equal(a, b):
+            problems.append(
+                f"tb{tb}/warp{warp} ${name} ({kind}): "
+                f"base={a.tolist()} other={b.tolist()}"
+            )
+    return problems
+
+
+def _diff_memory(base: np.ndarray, other: np.ndarray) -> Optional[str]:
+    if _bits_equal(base, other):
+        return None
+    a = base.view(np.uint8).reshape(base.size, -1)
+    b = other.view(np.uint8).reshape(other.size, -1)
+    words = np.nonzero((a != b).any(axis=1))[0]
+    sample = ", ".join(
+        f"[{w}] {base[w]!r} != {other[w]!r}" for w in words[:8]
+    )
+    return f"global memory differs in {words.size} word(s): {sample}"
+
+
+# -- the oracles -----------------------------------------------------------
+
+
+def oracle_functional_end_state(spec: KernelSpec) -> None:
+    """BASE and DARSIE must leave bit-identical memory + register files."""
+    _, base_mem, base_regs = _timing_run(spec, NullFrontend)
+    _, dar_mem, dar_regs = _timing_run(spec, _darsie_factory(spec))
+    problems: List[str] = []
+    mem_problem = _diff_memory(base_mem, dar_mem)
+    if mem_problem:
+        problems.append(mem_problem)
+    problems.extend(_diff_registers(base_regs, dar_regs))
+    if problems:
+        raise OracleFailure("functional", spec, "\n".join(problems[:12]))
+
+
+def oracle_marking_soundness(spec: KernelSpec) -> None:
+    """Static DR ⇒ dynamically uniform; promoted CR ⇒ TB-redundant."""
+    from repro.staticlib.soundness import audit_workload
+
+    with np.errstate(all="ignore"):
+        audit = audit_workload(build_fuzz_workload(spec))
+    if not audit.ok:
+        detail = "\n".join(v.render() for v in audit.violations[:8])
+        raise OracleFailure("soundness", spec, detail)
+
+
+def oracle_meld(spec: KernelSpec) -> None:
+    """The ideal DARM melder must preserve observable behaviour."""
+    from repro.staticlib.verify import verify_workload
+
+    with np.errstate(all="ignore"):
+        check = verify_workload(build_fuzz_workload(spec))
+    if not check.ok:
+        raise OracleFailure("meld", spec, "\n".join(check.problems[:12]))
+
+
+def oracle_event_skip(spec: KernelSpec) -> None:
+    """Idle-cycle fast-forward may not change any simulated statistic."""
+    factory = _darsie_factory(spec)
+    skipped, _, _ = _timing_run(spec, factory, event_skip=True)
+    stepped, _, _ = _timing_run(spec, factory, event_skip=False)
+    a, b = skipped.to_dict(), stepped.to_dict()
+    if a != b:
+        diffs = [
+            f"{key}: skip={a.get(key)!r} step={b.get(key)!r}"
+            for key in sorted(set(a) | set(b))
+            if a.get(key) != b.get(key)
+        ]
+        raise OracleFailure("event-skip", spec, "\n".join(diffs))
+
+
+#: Name -> oracle, in the order the stack runs.
+ORACLES: Dict[str, Callable[[KernelSpec], None]] = {
+    "functional": oracle_functional_end_state,
+    "soundness": oracle_marking_soundness,
+    "meld": oracle_meld,
+    "event-skip": oracle_event_skip,
+}
+
+
+def check_spec(
+    spec: KernelSpec, oracles: Optional[Dict[str, Callable[[KernelSpec], None]]] = None
+) -> None:
+    """Run ``spec`` through the oracle stack.  Any non-oracle exception
+    (assembler crash, simulator deadlock, …) is itself a finding and is
+    wrapped as an :class:`OracleFailure` so it shrinks like one."""
+    for name, oracle in (oracles if oracles is not None else ORACLES).items():
+        try:
+            oracle(spec)
+        except OracleFailure:
+            raise
+        except Exception as exc:  # noqa: BLE001 — every crash is a finding
+            raise OracleFailure(
+                f"crash:{name}", spec, f"{type(exc).__name__}: {exc}"
+            ) from exc

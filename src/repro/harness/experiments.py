@@ -232,11 +232,14 @@ def _speedup_sweep(
         members = [a for a in group if a in per]
         if not members:
             return {}
-        # Speedups are ratios of positive cycle counts, but clamp anyway:
-        # geomean raises on non-positive input, and a degenerate run
-        # (zero-cycle result) should skew the mean, not kill the figure.
+        # Speedups are ratios of positive cycle counts; a degenerate run
+        # (zero-cycle result) is dropped with a warning rather than
+        # clamped to 1e-9, which would poison the GMEAN.
         return {
-            c: geomean([max(1e-9, per[a][c]) for a in members]) for c in configs
+            c: geomean(
+                [per[a][c] for a in members], skip_nonpositive=True
+            )
+            for c in configs
         }
     return SpeedupResult(
         configs=tuple(configs),
@@ -390,10 +393,15 @@ def figure11(
         members = [a for a in group if a in per]
         if not members:
             return {}
-        # Energy reductions can be ~0; use arithmetic mean of the energy
-        # ratio then convert, which is robust and monotone.
+        # The GMEAN is over remaining-energy ratios (1 - reduction); a
+        # workload whose DARSIE energy hits exactly zero would clamp to
+        # 1e-9 and drag the group's reduction to ~100% — skip it with a
+        # warning instead so the figure reflects the measured members.
         return {
-            c: 1.0 - geomean([max(1e-9, 1.0 - per[a][c]) for a in members])
+            c: 1.0
+            - geomean(
+                [1.0 - per[a][c] for a in members], skip_nonpositive=True
+            )
             for c in configs
         }
     return EnergyResult(

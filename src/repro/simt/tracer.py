@@ -109,7 +109,13 @@ class Tracer:
         occ = self._occurrence.get(key, 0)
         self._occurrence[key] = occ + 1
         if result.dest_value is not None:
-            summary = ValueSummary.of(np.asarray(result.dest_value))
+            values = np.asarray(result.dest_value)
+            # A partial warp's dead lanes hold whatever the ALU computed
+            # over stale inputs; they are never architecturally written,
+            # so they must not break uniformity (or fabricate it).
+            if values.shape == warp.hw_mask.shape and not warp.hw_mask.all():
+                values = values[warp.hw_mask]
+            summary = ValueSummary.of(values)
         else:
             summary = ValueSummary.none()
         divergent = bool(np.any(warp.hw_mask & ~result.exec_mask))

@@ -121,8 +121,32 @@ def audit_trace(
     violations: List[SoundnessViolation] = []
     checked_pcs = set()
     groups_checked = 0
+    # Sites executed under control-flow divergence are unverifiable from
+    # a functional trace: warps on different paths reach a PC different
+    # numbers of times, so occurrence-aligned groups pair unrelated
+    # dynamic instances, and a record with a partial execution mask means
+    # the warp had left (or never joined) the majority path — DARSIE's
+    # hardware never shares values in either situation, so neither is a
+    # marking bug.  Skip every group at such a site.
+    site_counts: Dict[Tuple[int, int], Dict[int, int]] = {}
+    divergent_sites = set()
+    for rec in trace.records:
+        site = (rec.tb_index, rec.pc)
+        counts = site_counts.setdefault(site, {})
+        counts[rec.warp_id] = counts.get(rec.warp_id, 0) + 1
+        if rec.divergent:
+            divergent_sites.add(site)
+
+    def _verifiable(site: Tuple[int, int]) -> bool:
+        if site in divergent_sites:
+            return False
+        counts = site_counts[site]
+        return len(counts) == expected and len(set(counts.values())) == 1
+
     for (tb_index, pc, occurrence), records in trace.grouped_by_tb():
         if promoted_markings.get(pc) is not Marking.REDUNDANT:
+            continue
+        if not _verifiable((tb_index, pc)):
             continue
         inst = program.at(pc)
         if inst.dest_register() is None and inst.dest_predicate() is None:

@@ -86,6 +86,10 @@ class WarpRuntime:
         self.branch_sync_blocked: bool = False
         #: blocked by the DARSIE skip engine (leaderWB / freelist sync)
         self.skip_blocked: bool = False
+        #: parked by the skip engine: the warps-waiting bitmask holds the
+        #: warp without re-probing until a wake event (Section 4.3.2), so
+        #: the per-cycle scan skips re-classifying it
+        self.skip_parked: bool = False
         #: one-shot: execute the instruction at this PC privately even
         #: though it is statically skippable (entry was invalidated)
         self.bypass_pcs: Set[int] = set()

@@ -1,0 +1,54 @@
+"""geomean: positive-input contract and explicit skip-and-warn handling."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import geomean
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_raises_by_default(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_skip_nonpositive_warns_and_drops(self):
+        with pytest.warns(RuntimeWarning, match="skipping non-positive"):
+            result = geomean([2.0, 0.0, 8.0], skip_nonpositive=True)
+        assert result == pytest.approx(4.0)
+
+    def test_skip_nonpositive_all_dropped_raises(self):
+        with pytest.warns(RuntimeWarning):
+            with pytest.raises(ValueError, match="empty"):
+                geomean([0.0, -1.0], skip_nonpositive=True)
+
+    def test_full_reduction_edge_case(self):
+        """A workload with a 100% energy reduction (remaining ratio 0)
+        must be skipped, not clamped to 1e-9: the old clamp dragged the
+        group GMEAN to ~100% reduction; skipping keeps it at the other
+        members' value."""
+        reductions = [0.3, 1.0]
+        with pytest.warns(RuntimeWarning):
+            remaining = geomean(
+                [1.0 - r for r in reductions], skip_nonpositive=True
+            )
+        assert 1.0 - remaining == pytest.approx(0.3)
+        # The clamped formulation this replaces was poisoned:
+        clamped = geomean([max(1e-9, 1.0 - r) for r in reductions])
+        assert 1.0 - clamped > 0.99
+
+    def test_skip_nonpositive_no_op_on_clean_input(self):
+        values = [0.5, 1.5, 2.5]
+        assert geomean(values, skip_nonpositive=True) == pytest.approx(
+            geomean(values)
+        )
+        assert geomean(values) == pytest.approx(
+            math.exp(sum(math.log(v) for v in values) / 3)
+        )

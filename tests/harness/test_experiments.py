@@ -66,9 +66,9 @@ class TestTimingStudies:
         assert "GMEAN-1D" in r.render() and "GMEAN-2D" not in r.render()
 
     def test_gmean_values_always_positive(self):
-        """Regression: the gm() call sites clamp their inputs, so the
-        geomean precondition (positive values) can never be violated by
-        a degenerate run."""
+        """Regression: the gm() call sites skip (and warn on) degenerate
+        non-positive members, so the geomean precondition can never be
+        violated by a degenerate run."""
         r = experiments.figure8(scale="tiny", abbrs=SUBSET)
         for row in (r.gmean_1d, r.gmean_2d):
             for v in row.values():
