@@ -98,6 +98,10 @@ def main(argv=None) -> int:
                         help="for `sweep`: comma-separated values of the swept field")
     parser.add_argument("--trace", action="store_true",
                         help="for `run`: print a pipeline trace of the first cycles")
+    parser.add_argument("--pipeline-trace", default=None, metavar="PATH",
+                        dest="pipeline_trace",
+                        help="for `run`: dump per-cycle per-stage occupancy "
+                             "as JSONL to PATH")
     parser.add_argument("--json", action="store_true",
                         help="for `run`: dump the result counters as JSON")
     parser.add_argument("--jobs", type=int, metavar="N",
@@ -644,7 +648,7 @@ def run_sweep(parser, args, overrides) -> int:
 def run_workload(parser, args, overrides) -> int:
     """`python -m repro run ABBR --config NAME [--set PATH=VALUE] [--trace]`."""
     from repro.harness.runner import WorkloadRunner
-    from repro.timing import PipelineTrace
+    from repro.timing import PipelineTrace, StageOccupancyTrace
     from repro.timing.gpu import GPU
     from repro.variants import REGISTRY
 
@@ -670,19 +674,28 @@ def run_workload(parser, args, overrides) -> int:
           f"({1.0 - res.energy_pj / base.energy_pj:.1%} below BASE)")
     if args.json:
         print(res.sim.to_json(indent=2))
-    if args.trace:
-        # Re-run with the tracer attached (traces are not cached).  Use
-        # the variant's simulation program so transform-based variants
-        # (DARM) trace the melded code they actually ran.
+    if args.trace or args.pipeline_trace:
+        # Re-run with the tracer(s) attached (traces are not cached).
+        # Use the variant's simulation program so transform-based
+        # variants (DARM) trace the melded code they actually ran.
         mem, params = runner.workload.fresh()
         gpu = GPU(runner.simulation_program(cfg.variant), runner.workload.launch, mem,
                   params=params, config=runner.gpu_config,
                   frontend_factory=runner.frontend_factory(cfg.variant, cfg.darsie))
-        trace = PipelineTrace()
-        gpu.attach_trace(trace)
+        trace = stage_trace = None
+        if args.trace:
+            trace = PipelineTrace()
+            gpu.attach_trace(trace)
+        if args.pipeline_trace:
+            stage_trace = StageOccupancyTrace()
+            gpu.attach_stage_trace(stage_trace)
         gpu.run()
-        print()
-        print(trace.render(max_cycles=110, max_warps=10))
+        if trace is not None:
+            print()
+            print(trace.render(max_cycles=110, max_warps=10))
+        if stage_trace is not None:
+            lines = stage_trace.write_jsonl(args.pipeline_trace)
+            print(f"  wrote {lines} stage-occupancy samples to {args.pipeline_trace}")
     return 0
 
 

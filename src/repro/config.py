@@ -95,8 +95,20 @@ def config_fields(cls: type) -> Dict[str, type]:
     return _hints_memo[cls]
 
 
+def _unwrap_optional(typ: type) -> Tuple[type, bool]:
+    """``Optional[T]`` -> ``(T, True)``; anything else -> ``(typ, False)``."""
+    if typing.get_origin(typ) is typing.Union:
+        args = [a for a in typing.get_args(typ) if a is not type(None)]
+        if len(args) == 1:
+            return args[0], True
+    return typ, False
+
+
 def _check_value(value: Any, typ: type, path: str) -> Any:
     """Type-check one already-parsed value (bool is never an int here)."""
+    typ, optional = _unwrap_optional(typ)
+    if optional and value is None:
+        return None
     if typ is bool:
         if not isinstance(value, bool):
             raise ConfigError(f"{path}: expected bool, got {value!r}")
@@ -118,6 +130,11 @@ def _check_value(value: Any, typ: type, path: str) -> Any:
 
 def _coerce(value: Any, typ: type, path: str) -> Any:
     """Coerce an override value (possibly a CLI string) to a field type."""
+    inner, optional = _unwrap_optional(typ)
+    if optional:
+        if value is None or (isinstance(value, str) and value.strip().lower() in ("none", "null")):
+            return None
+        typ = inner
     if not isinstance(value, str) or typ is str:
         return _check_value(value, typ, path)
     text = value.strip()

@@ -36,7 +36,7 @@ import numpy as np
 from repro.core.coalescer import PCCoalescer
 from repro.core.majority import MajorityPathMask
 from repro.core.promotion import promote_markings
-from repro.core.rename import Materialization, RegisterRenameUnit
+from repro.core.rename import Materialization, PortBudget, RegisterRenameUnit
 from repro.core.skip_table import PCSkipTable, SkipTableEntry
 from repro.core.taxonomy import Marking
 from repro.isa.instructions import INSTRUCTION_BYTES, Instruction
@@ -68,11 +68,22 @@ class DarsieConfig:
 class _TBState:
     """Per-threadblock DARSIE hardware state."""
 
-    def __init__(self, num_warps: int, cfg: DarsieConfig, rf_banks: int):
+    def __init__(
+        self,
+        num_warps: int,
+        cfg: DarsieConfig,
+        rf_banks: int,
+        rename_ports: Optional[int] = None,
+        version_table_ports: Optional[int] = None,
+    ):
         self.table = PCSkipTable(capacity=cfg.skip_entries_per_tb)
         self.rename = RegisterRenameUnit(
             num_warps, freelist_size=cfg.rename_regs_per_tb, rf_banks=rf_banks
         )
+        #: decode-path rename-table read ports (None = ideal)
+        self.rename_budget = PortBudget(rename_ports)
+        #: skip-engine version-table ports (None = ideal)
+        self.version_budget = PortBudget(version_table_ports)
         self.majority = MajorityPathMask(num_warps)
         #: branch-barrier bookkeeping: pc -> {warp_id: (post_pc, simd_div)}
         self.branch_wait: Dict[int, Dict[int, Tuple[int, bool]]] = {}
@@ -126,6 +137,8 @@ class DarsieFrontend(Frontend):
             num_warps=len(tb_rt.warps),
             cfg=self.cfg,
             rf_banks=self.sm.config.rf_banks,
+            rename_ports=self.sm.config.rename_ports,
+            version_table_ports=self.sm.config.version_table_ports,
         )
 
     # -- helpers --------------------------------------------------------------
@@ -332,6 +345,14 @@ class DarsieFrontend(Frontend):
         if entry is None or not entry.leader_wb:
             wrt.skip_blocked = True
             return
+        if not st.version_budget.acquire(self.sm.cycle):
+            # Finite version-table ports: the skip engine already spent
+            # this cycle's accesses on other followers.  The warp stays
+            # skip-blocked (not parked) and re-arbitrates next cycle.
+            self.sm.stats.version_table_port_stalls += 1
+            self.sm.note_activity()
+            wrt.skip_blocked = True
+            return
         inst = self.program.at(pc)
         key = inst.dest_key
         assert key is not None
@@ -372,13 +393,46 @@ class DarsieFrontend(Frontend):
 
     def filter_fetch(self, wrt, pc: int) -> FetchAction:
         if not self._skippable_here(wrt, pc):
-            return FetchAction.FETCH
+            return self._gate_rename_ports(wrt, pc, FetchAction.FETCH)
         wid = (wrt.tb_rt.seq, wrt.warp.warp_id)
         if self._leader_pending_fetch.get(wid) == pc:
-            return FetchAction.FETCH_LEADER
+            return self._gate_rename_ports(wrt, pc, FetchAction.FETCH_LEADER)
         if wrt.skip_blocked:
             return FetchAction.WAIT
         return FetchAction.HANDLED
+
+    def _gate_rename_ports(self, wrt, pc: int, action: FetchAction) -> FetchAction:
+        """Finite ``rename_ports``: a fetch whose decode would probe more
+        rename-table entries than the cycle has ports left must wait."""
+        if self.sm.config.rename_ports is None or not self.skip_pcs:
+            return action
+        st = self._st(wrt.tb_rt)
+        needed = self._rename_reads_needed(st, wrt, self.program.at(pc))
+        if needed and not st.rename_budget.acquire(self.sm.cycle, needed):
+            self.sm.stats.rename_port_stalls += 1
+            self.sm.note_activity()
+            return FetchAction.WAIT
+        return action
+
+    def _rename_reads_needed(self, st: _TBState, wrt, inst) -> int:
+        """Rename-table reads :meth:`on_fetch` will perform for ``inst``
+        (live-mapped sources not superseded by an in-flight leader write,
+        plus the guarded-destination probe)."""
+        warp_id = wrt.warp.warp_id
+        pending = st.pending_leader.get(warp_id, {})
+        needed = 0
+        for reg in inst.source_registers():
+            key = ("r", reg.name)
+            if not pending.get(key) and st.rename.read(warp_id, key) is not None:
+                needed += 1
+        for pred in inst.source_predicates():
+            key = ("p", pred.name)
+            if not pending.get(key) and st.rename.read(warp_id, key) is not None:
+                needed += 1
+        key = inst.dest_key
+        if key is not None and inst.guard is not None and st.rename.read(warp_id, key) is not None:
+            needed += 1
+        return needed
 
     def on_fetch(self, wrt, inst, is_leader: bool) -> Optional[Dict]:
         st = self._st(wrt.tb_rt)

@@ -60,6 +60,44 @@ class Materialization:
     is_pred: bool
 
 
+class PortBudget:
+    """Per-cycle access-port budget of one DARSIE hardware structure.
+
+    ``ports=None`` models an ideal (unbounded) structure — every acquire
+    succeeds and nothing is counted, which keeps the default
+    configuration bit-identical to the historical model.  A finite value
+    grants at most ``ports`` accesses per cycle; the budget resets
+    lazily on the first acquire of a new cycle.
+
+    An access group larger than the whole structure (``n > ports``) is
+    granted against a fresh budget — the hardware would serialize the
+    reads over the cycle — so a wide instruction can never deadlock on a
+    narrow table.
+    """
+
+    __slots__ = ("ports", "_cycle", "_used")
+
+    def __init__(self, ports: Optional[int]):
+        self.ports = ports
+        self._cycle = -1
+        self._used = 0
+
+    def acquire(self, cycle: int, n: int = 1) -> bool:
+        """Try to take ``n`` ports this cycle; False means stall."""
+        if self.ports is None or n <= 0:
+            return True
+        if cycle != self._cycle:
+            self._cycle = cycle
+            self._used = 0
+        if self._used == 0 and n >= self.ports:
+            self._used = self.ports
+            return True
+        if self._used + n > self.ports:
+            return False
+        self._used += n
+        return True
+
+
 class RegisterRenameUnit:
     """Per-TB rename/version tables and freelist."""
 

@@ -70,6 +70,9 @@ class CapturingFrontend(Frontend):
         self.sm = sm
         self.inner.bind(sm)
 
+    def make_issue_stage(self, pipeline):
+        return self.inner.make_issue_stage(pipeline)
+
     def on_tb_launch(self, tb_rt) -> None:
         self.inner.on_tb_launch(tb_rt)
 
@@ -234,12 +237,84 @@ def oracle_event_skip(spec: KernelSpec) -> None:
         raise OracleFailure("event-skip", spec, "\n".join(diffs))
 
 
+def oracle_staged_pipeline(spec: KernelSpec) -> None:
+    """The staged BASE pipeline must drain cleanly and agree with the
+    functional reference.
+
+    Runs the kernel through :class:`~repro.timing.gpu.GPU` directly (so
+    the stage pipeline's inter-stage buffers are inspectable after the
+    run) and requires: the typed buffers drained at completion (no live
+    warp left anything behind), the
+    per-stage counters consistent (one decode per fetch, one execute per
+    issue, nothing skipped or eliminated under BASE), and final global
+    memory bit-identical to :func:`repro.simt.executor.run_functional`.
+    """
+    from repro.simt.executor import run_functional
+    from repro.timing.gpu import GPU
+
+    memory, params = spec.fresh_memory()
+    with np.errstate(all="ignore"):
+        gpu = GPU(
+            spec.program(),
+            spec.launch(),
+            memory,
+            params,
+            config=small_config(num_sms=1),
+        )
+        result = gpu.run()
+
+    problems: List[str] = []
+    for sm in gpu.sms:
+        pipe = sm.pipeline
+        if sm.warps:
+            problems.append(f"sm{sm.sm_id}: {len(sm.warps)} warp(s) still resident")
+        # The run ends when the last TB completes; writebacks scheduled
+        # past that cycle legitimately stay queued — but only ever for
+        # warps that already exited (their values are architectural at
+        # execute; writeback only releases scoreboard entries).
+        stuck = [item for item in pipe.wbq.pending() if not item[2].exited]
+        if stuck:
+            problems.append(
+                f"sm{sm.sm_id}: {len(stuck)} in-flight instruction(s) of "
+                "live warps never wrote back"
+            )
+        if pipe.zero_cost.total:
+            problems.append(
+                f"sm{sm.sm_id}: zero-cost ledger nonzero after drain "
+                f"({pipe.zero_cost.total})"
+            )
+    s = result.stats
+    if s.instructions_fetched != s.instructions_decoded:
+        problems.append(
+            f"fetched {s.instructions_fetched} != decoded {s.instructions_decoded}"
+        )
+    if s.instructions_issued != s.instructions_executed:
+        problems.append(
+            f"issued {s.instructions_issued} != executed {s.instructions_executed}"
+        )
+    if s.instructions_skipped or s.executions_eliminated:
+        problems.append(
+            f"BASE skipped {s.instructions_skipped} / "
+            f"eliminated {s.executions_eliminated} instruction(s)"
+        )
+
+    ref_memory, ref_params = spec.fresh_memory()
+    with np.errstate(all="ignore"):
+        run_functional(spec.program(), spec.launch(), ref_memory, ref_params)
+    mem_problem = _diff_memory(ref_memory.words.copy(), memory.words.copy())
+    if mem_problem:
+        problems.append(mem_problem)
+    if problems:
+        raise OracleFailure("staged-pipeline", spec, "\n".join(problems[:12]))
+
+
 #: Name -> oracle, in the order the stack runs.
 ORACLES: Dict[str, Callable[[KernelSpec], None]] = {
     "functional": oracle_functional_end_state,
     "soundness": oracle_marking_soundness,
     "meld": oracle_meld,
     "event-skip": oracle_event_skip,
+    "staged-pipeline": oracle_staged_pipeline,
 }
 
 

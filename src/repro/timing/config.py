@@ -15,6 +15,7 @@ relative results are preserved; DESIGN.md documents this substitution.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -47,6 +48,16 @@ class GPUConfig:
     # -- register file ------------------------------------------------------
     rf_banks: int = 16
     operand_collector_slots: int = 8
+    # -- DARSIE structure ports (Section 4.3) -------------------------------
+    #: rename-table read ports available to the decode/fetch path per
+    #: cycle.  None = ideal (unbounded, the paper's model); a finite
+    #: value makes warps whose rename reads exceed the budget wait,
+    #: counted in ``SimStats.rename_port_stalls``.
+    rename_ports: Optional[int] = None
+    #: version-table ports available to the skip engine per cycle.
+    #: None = ideal; a finite value bounds how many follower skips the
+    #: engine can service per cycle (``version_table_port_stalls``).
+    version_table_ports: Optional[int] = None
     # -- memory system -------------------------------------------------------
     shared_latency: int = 24
     shared_banks: int = 32

@@ -1,28 +1,38 @@
 """Cycle-level SM (streaming multiprocessor) model.
 
-Pipeline per Section 3 / Figure 4:
+Pipeline per Section 3 / Figure 4, as explicit stage objects
+(:mod:`repro.timing.stages`) over typed inter-stage buffers
+(:mod:`repro.timing.buffers`):
 
-1. **Fetch** — a loose-round-robin scheduler initiates one I-cache fetch
-   per cycle for a warp with free I-buffer entries; up to ``fetch_width``
-   consecutive instructions enter the warp's two-entry I-buffer.  Fetch
-   stalls after a control instruction until it resolves (no prediction).
-2. **Issue** — ``num_schedulers`` GTO (greedy-then-oldest) schedulers
-   each issue up to ``issue_width`` instructions from one warp per
-   cycle, subject to a scoreboard over in-flight destinations.
-3. **Execute** — instructions execute *functionally* at issue through
+1. **Fetch** (:class:`~repro.timing.stages.FetchStage`) — a loose-round-
+   robin scheduler initiates one I-cache fetch per cycle for a warp with
+   free I-buffer entries; up to ``fetch_width`` consecutive instructions
+   enter the warp's two-entry I-buffer.  Fetch stalls after a control
+   instruction until it resolves (no prediction).
+2. **Issue** (:class:`~repro.timing.stages.IssueStage`) —
+   ``num_schedulers`` GTO (greedy-then-oldest) schedulers each issue up
+   to ``issue_width`` instructions from one warp per cycle, subject to a
+   scoreboard over in-flight destinations.
+3. **Execute** (:class:`~repro.timing.stages.OperandCollectStage` +
+   :class:`~repro.timing.stages.ExecuteStage`) — operand reads model
+   register-file bank conflicts, including the extra conflicts DARSIE
+   causes by pointing follower warps at the renamed register space
+   (Section 6.1); instructions execute *functionally* at issue through
    :class:`repro.simt.FunctionalEngine`; a latency by functional-unit
    class (ALU/SFU/LDST + memory system) schedules writeback.
-4. **Writeback** — completed instructions release scoreboard entries and
-   fire the frontend's LeaderWB hook.
+4. **Writeback** (:class:`~repro.timing.stages.WritebackStage`) —
+   completed instructions release scoreboard entries and fire the
+   frontend's LeaderWB hook.
 
-Operand reads model register-file bank conflicts, including the extra
-conflicts DARSIE causes by pointing follower warps at the renamed
-register space (Section 6.1).
+:class:`SMCore` itself retains *no* per-stage logic: it owns residency
+(threadblock launch/retire, barriers), the stats/memory/functional-
+engine plumbing, and delegates every cycle to its
+:class:`~repro.timing.stages.StagePipeline`.
 
-Performance contract: the hot loops below (issue, drain, fetch) consume
-decode products memoized on :class:`~repro.isa.instructions.Instruction`
-at assembly time and maintain I-buffer occupancy incrementally; every
-such optimization must leave :class:`~repro.timing.stats.SimStats`
+Performance contract: the hot loops (issue, drain, fetch) consume decode
+products memoized on :class:`~repro.isa.instructions.Instruction` at
+assembly time and maintain I-buffer occupancy incrementally; every such
+optimization must leave :class:`~repro.timing.stats.SimStats`
 bit-identical to the straightforward per-cycle recomputation.
 ``tick`` additionally reports an *activity count* so the GPU loop can
 jump over stretches of cycles where every warp is provably blocked on a
@@ -32,54 +42,39 @@ known-future event (see :meth:`SMCore.wake_cycle` /
 
 from __future__ import annotations
 
-import heapq
-from collections import deque
-from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
-from repro.isa.instructions import INSTRUCTION_BYTES, Instruction, Opcode
-from repro.isa.operands import MemSpace
-from repro.simt.executor import ExecutionContext, FunctionalEngine, StepResult, ThreadBlockState
+from repro.isa.instructions import Instruction
+from repro.simt.executor import ExecutionContext, FunctionalEngine, ThreadBlockState
+from repro.timing.buffers import (  # noqa: F401  (IBufferEntry re-exported: stable import path)
+    IBuffer,
+    IBufferEntry,
+)
 from repro.timing.config import GPUConfig
-from repro.timing.frontend import FetchAction, Frontend
+from repro.timing.frontend import Frontend
 from repro.timing.memory_system import MemorySystem
-from repro.timing.stats import EnergyEvent, SimStats
-
-
-@dataclass
-class IBufferEntry:
-    """One decoded instruction waiting to issue."""
-
-    inst: Instruction
-    is_leader: bool = False
-    #: operand values captured at fetch time (renamed sources)
-    overrides: Optional[Dict] = None
-    #: DAC-IDEAL zero-cost instruction (drains outside issue bandwidth,
-    #: executing functionally when it reaches the head of the queue)
-    free: bool = False
-    #: DARSIE skip token: the instruction was eliminated before fetch —
-    #: the token only advances the architectural PC, in program order,
-    #: when it reaches the head of the queue
-    skip_token: bool = False
+from repro.timing.stages import StagePipeline
+from repro.timing.stats import SimStats
 
 
 class WarpRuntime:
-    """Per-warp pipeline state wrapped around the architectural warp."""
+    """Per-warp pipeline state wrapped around the architectural warp.
 
-    def __init__(self, warp, tb_rt: "TBRuntime", scheduler_id: int, age: int, core=None):
+    The owning :class:`SMCore` is a *required* constructor argument: the
+    warp's I-buffer shares the pipeline's zero-cost ledger from birth,
+    so stage objects can never observe a half-wired warp.
+    """
+
+    def __init__(self, warp, tb_rt: "TBRuntime", scheduler_id: int, age: int, core: "SMCore"):
         self.warp = warp
         self.tb_rt = tb_rt
         self.scheduler_id = scheduler_id
         self.age = age
         self.core = core
         self.fetch_pc: int = warp.pc
-        self.ibuffer: Deque[IBufferEntry] = deque()
-        #: I-buffer occupancy counted against capacity (maintained
-        #: incrementally; free entries and skip tokens were never fetched
-        #: and occupy no real slots)
-        self._buffered: int = 0
-        #: zero-cost entries (free / skip tokens) currently queued
-        self._zero_cost: int = 0
+        #: decoded instructions awaiting issue (occupancy counters live
+        #: on the buffer; zero-cost entries mirror into the shared ledger)
+        self.ibuffer: IBuffer = IBuffer(core.pipeline.zero_cost)
         #: fetch stalled after a control instruction until it executes
         self.cf_stalled: bool = False
         #: blocked at a TB-wide branch barrier (DARSIE / SILICON-SYNC)
@@ -101,35 +96,18 @@ class WarpRuntime:
         return self.warp.exited
 
     def buffered(self) -> int:
-        return self._buffered
+        return self.ibuffer.buffered
 
     def push_entry(self, entry: IBufferEntry) -> None:
         """Append ``entry`` keeping the occupancy counters in sync (the
         only way frontends may enqueue free entries / skip tokens)."""
-        self.ibuffer.append(entry)
-        if entry.free or entry.skip_token:
-            self._zero_cost += 1
-            if self.core is not None:
-                self.core._zero_cost_total += 1
-        else:
-            self._buffered += 1
+        self.ibuffer.push(entry)
 
     def pop_head(self) -> IBufferEntry:
-        entry = self.ibuffer.popleft()
-        if entry.free or entry.skip_token:
-            self._zero_cost -= 1
-            if self.core is not None:
-                self.core._zero_cost_total -= 1
-        else:
-            self._buffered -= 1
-        return entry
+        return self.ibuffer.pop()
 
     def clear_ibuffer(self) -> None:
-        if self._zero_cost and self.core is not None:
-            self.core._zero_cost_total -= self._zero_cost
         self.ibuffer.clear()
-        self._buffered = 0
-        self._zero_cost = 0
 
     def fetch_ready(self) -> bool:
         return not (
@@ -169,7 +147,7 @@ def _scoreboard_keys(inst: Instruction) -> Tuple[List[Tuple[str, str]], List[Tup
 
 
 class SMCore:
-    """One streaming multiprocessor."""
+    """One streaming multiprocessor: residency + a staged pipeline."""
 
     def __init__(
         self,
@@ -188,27 +166,18 @@ class SMCore:
         self.memory = MemorySystem(config, self.stats)
         self.tbs: List[TBRuntime] = []
         self.warps: List[WarpRuntime] = []
-        self._inflight: List[Tuple[int, int, WarpRuntime, Instruction, dict]] = []
-        self._seq = 0
-        self._fetch_rr = 0
         self.cycle = 0
         #: optional per-cycle event recorder (repro.timing.pipeline_trace)
         self.pipeline_trace = None
-        self._greedy: Dict[int, Optional[WarpRuntime]] = {
-            s: None for s in range(config.num_schedulers)
-        }
-        self._issue_rr: Dict[int, int] = {s: 0 for s in range(config.num_schedulers)}
-        #: per-scheduler warp lists in age order (mirrors ``self.warps``)
-        self._sched_warps: List[List[WarpRuntime]] = [
-            [] for _ in range(config.num_schedulers)
-        ]
-        #: zero-cost I-buffer entries across all warps (drain early-out)
-        self._zero_cost_total = 0
-        #: state changes observed during the current tick
-        self._activity = 0
+        #: optional per-cycle stage activity/occupancy recorder
+        #: (repro.timing.pipeline_trace.StageOccupancyTrace)
+        self.stage_trace = None
         self._tb_seq = 0
         self._warp_age = 0
         self.completed_tbs: List[TBRuntime] = []
+        #: the staged pipeline (the frontend may supply a custom issue
+        #: stage via ``make_issue_stage``, e.g. the DUAL-ISSUE variant)
+        self.pipeline = StagePipeline(self)
         frontend.bind(self)
 
     # -- residency ---------------------------------------------------------
@@ -231,7 +200,7 @@ class SMCore:
             self._warp_age += 1
             tb_rt.warps.append(wrt)
             self.warps.append(wrt)
-            self._sched_warps[scheduler].append(wrt)
+            self.pipeline.issue.add_warp(wrt)
         self.tbs.append(tb_rt)
         self.frontend.on_tb_launch(tb_rt)
         return tb_rt
@@ -247,378 +216,40 @@ class SMCore:
         (0 means this cycle was provably idle and the next cycle would
         repeat it exactly — the basis for event-driven skipping)."""
         self.cycle = cycle
-        self._activity = 0
-        self._writeback(cycle)
-        self._drain_free(cycle)
-        self._issue(cycle)
-        self.frontend.fetch_cycle(cycle)
-        self._fetch(cycle)
-        self._account_waits()
-        return self._activity
+        return self.pipeline.tick(cycle)
 
     def note_activity(self) -> None:
         """Frontends call this when they mutate pipeline state outside
-        the core's own counting (zero-cost pushes, sync releases)."""
-        self._activity += 1
+        the stages' own counting (zero-cost pushes, sync releases)."""
+        self.pipeline.note()
 
     def wake_cycle(self) -> Optional[int]:
         """Earliest future cycle at which anything can happen on this SM
         while it is otherwise idle, or None if no such event is known."""
-        wake: Optional[int] = self._inflight[0][0] if self._inflight else None
-        fw = self.frontend.next_wake(self.cycle)
-        if fw is not None and (wake is None or fw < wake):
-            wake = fw
-        return wake
+        return self.pipeline.wake_cycle()
 
     def advance_idle(self, delta: int) -> None:
-        """Account for ``delta`` skipped idle cycles.
+        """Account for ``delta`` skipped idle cycles (see
+        :meth:`StagePipeline.advance_idle`)."""
+        self.pipeline.advance_idle(delta)
 
-        An idle cycle still (a) accrues one ``sync_wait_cycles`` per
-        blocked live warp and (b) advances each LRR scheduler that had
-        issue candidates; both are replayed here in closed form.
-        """
-        blocked = 0
-        for w in self.warps:
-            if (w.skip_blocked or w.branch_sync_blocked) and not w.warp.exited:
-                blocked += 1
-        if blocked:
-            self.stats.sync_wait_cycles += blocked * delta
-        if self.config.scheduler_policy == "lrr":
-            for sched, swarps in enumerate(self._sched_warps):
-                if any(not w.warp.exited and w.ibuffer for w in swarps):
-                    self._issue_rr[sched] += delta
+    # -- retirement / barriers ---------------------------------------------
 
-    def _account_waits(self) -> None:
-        if self.pipeline_trace is None:
-            blocked = 0
-            for w in self.warps:
-                if (w.skip_blocked or w.branch_sync_blocked) and not w.warp.exited:
-                    blocked += 1
-            if blocked:
-                self.stats.sync_wait_cycles += blocked
-            return
-        for w in self.warps:
-            if not w.exited and (w.skip_blocked or w.branch_sync_blocked):
-                self.stats.sync_wait_cycles += 1
-                self.pipeline_trace.record(
-                    self.cycle, self.sm_id, w.tb_rt.tb.tb_index,
-                    w.warp.warp_id, "B", w.fetch_pc,
-                )
-
-    # -- writeback ---------------------------------------------------------------
-
-    def _writeback(self, cycle: int) -> None:
-        inflight = self._inflight
-        while inflight and inflight[0][0] <= cycle:
-            _ready, _seq, wrt, inst, meta = heapq.heappop(inflight)
-            self._activity += 1
-            wrt.inflight -= 1
-            if self.pipeline_trace is not None:
-                self.pipeline_trace.record(
-                    cycle, self.sm_id, wrt.tb_rt.tb.tb_index, wrt.warp.warp_id, "W", inst.pc
-                )
-            dests = meta.get("dests", ())
-            for key in dests:
-                wrt.scoreboard.discard(key)
-            if dests:
-                self.stats.energy_events[EnergyEvent.RF_WRITE] += 1
-            self.frontend.on_writeback(wrt, inst, meta)
-
-    # -- issue ------------------------------------------------------------------
-
-    def _hazard(self, wrt: WarpRuntime, inst: Instruction) -> bool:
-        sb = wrt.scoreboard
-        return bool(sb) and not sb.isdisjoint(inst.hazard_keys)
-
-    def _drain_free(self, cycle: int) -> None:
-        """Zero-cost, in-order drain of eliminated instructions.
-
-        DARSIE skip tokens only advance the architectural PC (the leader
-        executed the instruction; the follower shares its value through
-        renaming).  DAC-IDEAL free entries execute functionally — the
-        idealized affine stream — without pipeline cost.
-        """
-        if self._zero_cost_total == 0:
-            return
-        for wrt in self.warps:
-            if wrt._zero_cost == 0:
-                continue
-            ibuf = wrt.ibuffer
-            while ibuf and (ibuf[0].free or ibuf[0].skip_token):
-                entry = ibuf[0]
-                if entry.skip_token:
-                    wrt.pop_head()
-                    self._activity += 1
-                    assert wrt.warp.pc == entry.inst.pc, (
-                        f"skip token out of order: arch pc {wrt.warp.pc:#x}, "
-                        f"token pc {entry.inst.pc:#x}"
-                    )
-                    wrt.warp.pc += INSTRUCTION_BYTES
-                    wrt.warp.maybe_reconverge()
-                    continue
-                if self._hazard(wrt, entry.inst):
-                    break
-                wrt.pop_head()
-                self._activity += 1
-                self.engine.execute_instruction(wrt.tb_rt.tb, wrt.warp, entry.inst)
-                self.stats.instructions_skipped += 1
-
-    def _issue(self, cycle: int) -> None:
-        if self.config.scheduler_policy == "lrr":
-            self._issue_lrr(cycle)
-            return
-        # Greedy-then-oldest (Table 2's GTO).  ``_sched_warps`` is kept
-        # in age order, so trying the greedy warp first and then the
-        # rest in list order reproduces the sorted-candidates walk.
-        for sched, swarps in enumerate(self._sched_warps):
-            greedy = self._greedy[sched]
-            greedy_is_cand = (
-                greedy is not None and not greedy.warp.exited and bool(greedy.ibuffer)
-            )
-            issued_from: Optional[WarpRuntime] = None
-            had_candidate = greedy_is_cand
-            if greedy_is_cand and self._issue_from_warp(cycle, greedy):
-                issued_from = greedy
-            if issued_from is None:
-                for wrt in swarps:
-                    if wrt is greedy or wrt.warp.exited or not wrt.ibuffer:
-                        continue
-                    had_candidate = True
-                    if self._issue_from_warp(cycle, wrt):
-                        issued_from = wrt
-                        break
-            if had_candidate:
-                self._greedy[sched] = issued_from
-
-    def _issue_lrr(self, cycle: int) -> None:
-        # Loose round-robin: rotate priority each cycle.
-        for sched, swarps in enumerate(self._sched_warps):
-            candidates = [w for w in swarps if not w.warp.exited and w.ibuffer]
-            if not candidates:
-                continue
-            n = len(candidates)
-            rot = self._issue_rr[sched] % n
-            self._issue_rr[sched] += 1
-            issued_from: Optional[WarpRuntime] = None
-            for i in range(n):
-                wrt = candidates[(rot + i) % n]
-                if self._issue_from_warp(cycle, wrt):
-                    issued_from = wrt
-                    break
-            self._greedy[sched] = issued_from
-
-    def _issue_from_warp(self, cycle: int, wrt: WarpRuntime) -> int:
-        issued = 0
-        ibuf = wrt.ibuffer
-        while issued < self.config.issue_width and ibuf:
-            entry = ibuf[0]
-            if entry.free or entry.skip_token:
-                break  # handled by the zero-cost drain
-            if wrt.warp.at_barrier or wrt.branch_sync_blocked:
-                break
-            if self._hazard(wrt, entry.inst):
-                break
-            wrt.ibuffer.popleft()
-            wrt._buffered -= 1
-            self._execute(cycle, wrt, entry)
-            issued += 1
-            if entry.inst.opcode in (Opcode.BRA, Opcode.EXIT, Opcode.BAR):
-                break
-        return issued
-
-    def _execute(self, cycle: int, wrt: WarpRuntime, entry: IBufferEntry) -> None:
-        inst = entry.inst
-        self._activity += 1
-        if self.pipeline_trace is not None:
-            self.pipeline_trace.record(
-                cycle, self.sm_id, wrt.tb_rt.tb.tb_index, wrt.warp.warp_id, "I", inst.pc
-            )
-        stats = self.stats
-        stats.instructions_issued += 1
-        events = stats.energy_events
-        events[EnergyEvent.ISSUE] += 1
-        events[EnergyEvent.RF_READ] += inst.rf_read_count
-        stats.rf_bank_conflicts += self._bank_conflicts(inst, entry)
-
-        eliminate_kind = self.frontend.eliminate_at_issue(wrt, inst)
-        overrides = entry.overrides or {}
-        depth_before = len(wrt.warp.stack)
-        result = self.engine.execute_instruction(
-            wrt.tb_rt.tb,
-            wrt.warp,
-            inst,
-            reg_overrides=overrides.get("regs"),
-            pred_overrides=overrides.get("preds"),
-        )
-        stats.instructions_executed += 1
-        if depth_before > 1:
-            stats.divergence_serialized_instructions += 1
-        if inst.is_branch and len(wrt.warp.stack) > depth_before:
-            stats.divergent_branches += 1
-
-        if eliminate_kind is not None:
-            stats.executions_eliminated += 1
-            stats.eliminated_by_class[eliminate_kind] += 1
-            ready = cycle + 1
-        else:
-            ready = self._latency(cycle, inst, result)
-
-        dests = inst.sb_dests
-        meta = {"dests": dests, "is_leader": entry.is_leader, "result": result}
-        for key in dests:
-            wrt.scoreboard.add(key)
-        if dests or entry.is_leader:
-            self._seq += 1
-            wrt.inflight += 1
-            heapq.heappush(self._inflight, (ready, self._seq, wrt, inst, meta))
-
-        self._post_execute(cycle, wrt, inst, result)
-
-    def _bank_conflicts(self, inst: Instruction, entry: IBufferEntry) -> int:
-        """Same-cycle operand bank collisions (coarse operand-collector
-        model: each distinct source register occupies one bank read)."""
-        conflicts, banks = inst.bank_info(self.config.rf_banks)
-        if entry.overrides:
-            # Renamed operands live in the strided rename space; reads
-            # from it collide with the warp's own operand reads
-            # (Section 6.1's DARSIE-induced bank conflicts).
-            rename_banks = entry.overrides.get("banks", ())
-            collide = sum(1 for b in rename_banks if b in banks)
-            conflicts += collide
-            self.stats.darsie_bank_conflicts += collide
-        return conflicts
-
-    def _latency(self, cycle: int, inst: Instruction, result: StepResult) -> int:
-        cfg = self.config
-        if inst.is_memory:
-            assert inst.mem is not None
-            addresses = result.mem_addresses
-            if addresses is None:
-                return cycle + 1
-            mask = result.exec_mask
-            if inst.mem.space is MemSpace.SHARED:
-                return self.memory.shared_access(cycle, addresses, mask)
-            return self.memory.global_access(cycle, addresses, mask, inst.is_store)
-        if inst.uses_sfu:
-            self.stats.energy_events[EnergyEvent.SFU_OP] += 1
-            return cycle + cfg.sfu_latency
-        if inst.opcode in (Opcode.BRA, Opcode.EXIT, Opcode.BAR, Opcode.NOP):
-            return cycle + 1
-        self.stats.energy_events[EnergyEvent.ALU_OP] += 1
-        return cycle + cfg.alu_latency
-
-    def _post_execute(self, cycle: int, wrt: WarpRuntime, inst: Instruction, result) -> None:
-        self.frontend.on_executed(wrt, inst, result)
-
-        if inst.is_store:
-            self.frontend.on_store(wrt.tb_rt)
-        if inst.is_atomic and inst.mem.space is MemSpace.GLOBAL:
-            self.frontend.on_global_communication()
-
-        if inst.is_branch:
-            if self.frontend.blocks_after_branch(wrt, inst):
-                wrt.branch_sync_blocked = True
-            else:
-                wrt.resync_fetch()
-            return
-        if inst.is_barrier:
-            self._maybe_release_barrier(wrt.tb_rt)
-            return
-        if inst.is_exit:
-            if result.retired:
-                self._on_warp_retired(wrt)
-            else:
-                wrt.resync_fetch()
-            return
-        if wrt.warp.pc != inst.pc + INSTRUCTION_BYTES:
-            # A reconvergence pop switched the warp to another divergent
-            # path (non-sequential PC without a branch): the straight-line
-            # prefetch past the reconvergence point is wrong-path.
-            wrt.clear_ibuffer()
-            wrt.resync_fetch()
-
-    def _maybe_release_barrier(self, tb_rt: TBRuntime) -> None:
+    def release_barrier(self, tb_rt: TBRuntime) -> None:
         if tb_rt.tb.release_barrier_if_ready():
             self.frontend.on_syncthreads(tb_rt)
             for w in tb_rt.warps:
                 if not w.exited:
                     w.resync_fetch()
 
-    def _on_warp_retired(self, wrt: WarpRuntime) -> None:
+    def retire_warp(self, wrt: WarpRuntime) -> None:
         self.frontend.on_warp_exit(wrt)
         tb_rt = wrt.tb_rt
-        self._maybe_release_barrier(tb_rt)
+        self.release_barrier(tb_rt)
         if all(w.exited for w in tb_rt.warps) and not tb_rt.completed:
             tb_rt.completed = True
             self.frontend.on_tb_complete(tb_rt)
             self.completed_tbs.append(tb_rt)
-            for w in tb_rt.warps:
-                self._zero_cost_total -= w._zero_cost
             self.warps = [w for w in self.warps if w.tb_rt is not tb_rt]
             self.tbs = [t for t in self.tbs if t is not tb_rt]
-            self._sched_warps = [
-                [w for w in lst if w.tb_rt is not tb_rt] for lst in self._sched_warps
-            ]
-
-    # -- fetch --------------------------------------------------------------------
-
-    def _fetch(self, cycle: int) -> None:
-        n = len(self.warps)
-        if n == 0:
-            return
-        end_pc = self.ctx.program.end_pc
-        capacity = self.config.ibuffer_entries
-        for _initiated in range(self.config.fetch_warps_per_cycle):
-            chosen = None
-            for i in range(n):
-                wrt = self.warps[(self._fetch_rr + i) % n]
-                if not wrt.fetch_ready() or wrt.skip_blocked:
-                    continue
-                if wrt._buffered >= capacity:
-                    continue
-                if wrt.fetch_pc >= end_pc:
-                    continue
-                action = self.frontend.filter_fetch(wrt, wrt.fetch_pc)
-                if action in (FetchAction.HANDLED, FetchAction.WAIT):
-                    continue
-                chosen = (wrt, action)
-                self._fetch_rr = (self._fetch_rr + i + 1) % n
-                break
-            if chosen is None:
-                return
-            wrt, action = chosen
-            self._activity += 1
-            self.stats.energy_events[EnergyEvent.ICACHE_FETCH] += 1
-            self._fetch_into(wrt, action)
-
-    def _fetch_into(self, wrt: WarpRuntime, first_action: FetchAction) -> None:
-        fetched = 0
-        action = first_action
-        stats = self.stats
-        while (
-            fetched < self.config.fetch_width
-            and wrt._buffered < self.config.ibuffer_entries
-        ):
-            if action in (FetchAction.HANDLED, FetchAction.WAIT):
-                break
-            inst = self.ctx.program.at(wrt.fetch_pc)
-            is_leader = action is FetchAction.FETCH_LEADER
-            overrides = self.frontend.on_fetch(wrt, inst, is_leader)
-            wrt.ibuffer.append(IBufferEntry(inst=inst, is_leader=is_leader, overrides=overrides))
-            wrt._buffered += 1
-            if self.pipeline_trace is not None:
-                self.pipeline_trace.record(
-                    self.cycle, self.sm_id, wrt.tb_rt.tb.tb_index, wrt.warp.warp_id, "F", inst.pc
-                )
-            stats.instructions_fetched += 1
-            stats.instructions_decoded += 1
-            stats.energy_events[EnergyEvent.DECODE] += 1
-            wrt.bypass_pcs.discard(wrt.fetch_pc)
-            wrt.fetch_pc += INSTRUCTION_BYTES
-            fetched += 1
-            if inst.opcode in (Opcode.BRA, Opcode.EXIT, Opcode.BAR):
-                wrt.cf_stalled = True
-                break
-            if wrt.fetch_pc >= self.ctx.program.end_pc:
-                break
-            action = self.frontend.filter_fetch(wrt, wrt.fetch_pc)
+            self.pipeline.remove_tb(tb_rt)

@@ -48,6 +48,16 @@ class Frontend:
         """Attach to an SM core (called once before simulation)."""
         self.sm = sm
 
+    def make_issue_stage(self, pipeline):
+        """Return a custom issue stage for this frontend, or None for
+        the default :class:`~repro.timing.stages.IssueStage`.
+
+        Called while the :class:`~repro.timing.stages.StagePipeline` is
+        assembling (before :meth:`bind`), so implementations must not
+        touch SM state — just construct the stage.
+        """
+        return None
+
     # -- TB lifecycle ---------------------------------------------------------
 
     def on_tb_launch(self, tb_rt) -> None:
@@ -122,6 +132,24 @@ class NullFrontend(Frontend):
     """Explicit alias of the base (no-elimination) frontend."""
 
     name = "BASE"
+
+
+class DualIssueFrontend(Frontend):
+    """DUAL-ISSUE: baseline execution with each warp scheduler able to
+    issue from up to two distinct warps per cycle.
+
+    No elimination mechanism — this variant exists to prove the staged
+    pipeline's extension seam: one frontend registration swaps in an
+    alternative :class:`~repro.timing.stages.IssueStage` without
+    touching the core or any other stage.
+    """
+
+    name = "DUAL-ISSUE"
+
+    def make_issue_stage(self, pipeline):
+        from repro.timing.stages import DualIssueStage
+
+        return DualIssueStage(pipeline)
 
 
 class SiliconSyncFrontend(Frontend):

@@ -116,6 +116,12 @@ class GPU:
         for sm in self.sms:
             sm.pipeline_trace = trace
 
+    def attach_stage_trace(self, trace) -> None:
+        """Record per-cycle stage activity/occupancy into ``trace``
+        (:class:`repro.timing.pipeline_trace.StageOccupancyTrace`)."""
+        for sm in self.sms:
+            sm.stage_trace = trace
+
     def _dispatch(self) -> None:
         warps_needed = self.ctx.launch.warps_per_block
         stalled = 0
@@ -140,7 +146,8 @@ class GPU:
         # accounting in closed form.  Disabled under a pipeline trace,
         # which records blocked warps every cycle.
         skip_enabled = self.config.event_skip and all(
-            sm.pipeline_trace is None for sm in self.sms
+            sm.pipeline_trace is None and sm.stage_trace is None
+            for sm in self.sms
         )
         while self._pending or any(sm.busy for sm in self.sms):
             activity = 0

@@ -19,6 +19,7 @@ Legend: ``F`` fetch, ``I`` issue/execute, ``W`` writeback, ``S`` skip
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
@@ -110,3 +111,55 @@ class PipelineTrace:
             skipped = sum(1 for e in evs if e.kind == SKIP)
             rows.append(f"  sm{sm}/tb{tb}/w{warp}: fetched={fetched} skipped={skipped}")
         return "warp activity:\n" + "\n".join(rows)
+
+
+class StageOccupancyTrace:
+    """Per-cycle, per-stage activity and buffer occupancy recorder.
+
+    While a :class:`PipelineTrace` records *warp-level events* (fetch,
+    issue, skip...), this trace records the *stage-level* view the
+    staged pipeline exposes: how many state changes each stage produced
+    this cycle, and how full the typed inter-stage buffers are.  One
+    sample per busy SM per simulated cycle (attaching the trace disables
+    event-driven cycle skipping, so no cycles are jumped over).
+
+    Dump with :meth:`write_jsonl` — one JSON object per line::
+
+        {"cycle": 7, "sm": 0, "stages": {"writeback": 0, "decode-skip": 0,
+         "issue": 3, "fetch": 2}, "ibuffer": 4, "zero_cost": 0, "inflight": 2}
+    """
+
+    def __init__(self, max_samples: int = 1_000_000):
+        self.samples: List[Dict] = []
+        self.max_samples = max_samples
+        self.dropped = 0
+
+    def sample(
+        self,
+        cycle: int,
+        sm: int,
+        stage_activity: Dict[str, int],
+        occupancy: Dict[str, int],
+    ) -> None:
+        if len(self.samples) >= self.max_samples:
+            self.dropped += 1
+            return
+        row = {"cycle": cycle, "sm": sm, "stages": stage_activity}
+        row.update(occupancy)
+        self.samples.append(row)
+
+    def write_jsonl(self, path: str) -> int:
+        """Write one JSON object per sample; returns the line count."""
+        with open(path, "w", encoding="utf-8") as fh:
+            for row in self.samples:
+                fh.write(json.dumps(row, sort_keys=True))
+                fh.write("\n")
+        return len(self.samples)
+
+    def busiest_stage(self) -> Dict[str, int]:
+        """Total activity per stage across the run (quick profile)."""
+        totals: Dict[str, int] = {}
+        for row in self.samples:
+            for name, act in row["stages"].items():
+                totals[name] = totals.get(name, 0) + act
+        return totals

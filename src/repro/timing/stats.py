@@ -67,6 +67,11 @@ class SimStats:
     leaders_elected: int = 0
     follower_skips: int = 0
     freelist_syncs: int = 0
+    #: structural stalls from finite DARSIE structure ports
+    #: (``GPUConfig.rename_ports`` / ``version_table_ports``; both zero
+    #: under the default ideal-port configuration)
+    rename_port_stalls: int = 0
+    version_table_port_stalls: int = 0
     load_entries_invalidated: int = 0
     warps_left_majority: int = 0
     #: branches that actually split a warp (pushed a reconvergence entry)

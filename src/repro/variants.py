@@ -31,7 +31,7 @@ from repro.baselines import DacIdealFrontend, UVFrontend
 from repro.core import DarsieConfig, DarsieFrontend
 from repro.isa.program import Program
 from repro.staticlib.passes import darm_ideal_pass, darm_pass
-from repro.timing.frontend import SiliconSyncFrontend
+from repro.timing.frontend import DualIssueFrontend, SiliconSyncFrontend
 
 
 @dataclass(frozen=True)
@@ -134,6 +134,10 @@ def _silicon_sync_frontend(inputs, darsie):
     return SiliconSyncFrontend
 
 
+def _dual_issue_frontend(inputs, darsie):
+    return DualIssueFrontend
+
+
 def _darsie_overhead(model, stats, num_sms):
     return model.breakdown(stats, num_sms).overhead_fraction
 
@@ -206,6 +210,13 @@ def register_default_variants(registry: VariantRegistry = REGISTRY) -> None:
         make_frontend=_silicon_sync_frontend,
         tags=("fig12",),
         description="hardware-synchronization cost bound (Figure 12)",
+    ))
+    registry.register(Variant(
+        name="DUAL-ISSUE",
+        make_frontend=_dual_issue_frontend,
+        tags=("ablation",),
+        description="baseline with dual-issue warp schedulers (swaps in "
+                    "an alternative IssueStage via the staged pipeline)",
     ))
     registry.register(Variant(
         name="DARM",

@@ -199,6 +199,17 @@ class TestOverrides:
         cfg = apply_overrides(self.BASE, {"gpu.l1_lines": "0x100"})
         assert cfg.gpu.l1_lines == 256
 
+    def test_optional_int_override_from_string(self):
+        cfg = apply_overrides(self.BASE, {"gpu.rename_ports": "2"})
+        assert cfg.gpu.rename_ports == 2
+
+    @pytest.mark.parametrize("text", ["none", "None", "NULL", " none "])
+    def test_optional_int_override_back_to_ideal(self, text):
+        limited = apply_overrides(self.BASE, {"gpu.version_table_ports": "4"})
+        assert limited.gpu.version_table_ports == 4
+        ideal = apply_overrides(limited, {"gpu.version_table_ports": text})
+        assert ideal.gpu.version_table_ports is None
+
     @pytest.mark.parametrize("text,expected", [
         ("true", True), ("1", True), ("yes", True), ("ON", True),
         ("false", False), ("0", False), ("no", False), ("off", False),

@@ -158,6 +158,19 @@ class TestValidation:
 
         serve_test(scenario, run_batch=fake, cache_dir=str(tmp_path / "c"))
 
+    def test_registered_variants_are_all_servable(self, tmp_path):
+        """Any registry variant — including extension variants like
+        DUAL-ISSUE — passes validation and reaches the pool."""
+        fake = FakeRunner()
+
+        async def scenario(server):
+            status, _, reply = await request(
+                server.port, "POST", "/run", body(variant="DUAL-ISSUE"))
+            assert status == 200 and reply["source"] == "simulated"
+            assert fake.specs_run == 1
+
+        serve_test(scenario, run_batch=fake, cache_dir=str(tmp_path / "c"))
+
 
 class TestCoalescing:
     def test_n_identical_requests_one_simulation(self, tmp_path):

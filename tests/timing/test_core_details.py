@@ -12,7 +12,8 @@ from repro import (
     simulate,
     small_config,
 )
-from repro.timing.core import IBufferEntry, WarpRuntime, _scoreboard_keys
+from repro.timing.buffers import IBuffer, ZeroCostLedger
+from repro.timing.core import IBufferEntry, _scoreboard_keys
 
 
 class TestScoreboardKeys:
@@ -35,40 +36,46 @@ class TestScoreboardKeys:
 
 
 class TestIBufferAccounting:
-    def _warp_runtime(self):
-        from collections import deque
-
-        wrt = WarpRuntime.__new__(WarpRuntime)
-        wrt.ibuffer = deque()
-        wrt._buffered = 0
-        wrt._zero_cost = 0
-        wrt.core = None
-        return wrt
-
     def test_free_and_token_entries_do_not_occupy_slots(self):
         prog = assemble("nop\nexit")
         inst = prog.instructions[0]
-        wrt = self._warp_runtime()
-        wrt.push_entry(IBufferEntry(inst=inst))
-        wrt.push_entry(IBufferEntry(inst=inst, free=True))
-        wrt.push_entry(IBufferEntry(inst=inst, skip_token=True))
-        assert wrt.buffered() == 1
+        ibuf = IBuffer(ZeroCostLedger())
+        ibuf.push(IBufferEntry(inst=inst))
+        ibuf.push(IBufferEntry(inst=inst, free=True))
+        ibuf.push(IBufferEntry(inst=inst, skip_token=True))
+        assert ibuf.buffered == 1
 
     def test_pop_and_clear_keep_counters_in_sync(self):
         prog = assemble("nop\nexit")
         inst = prog.instructions[0]
-        wrt = self._warp_runtime()
-        wrt.push_entry(IBufferEntry(inst=inst))
-        wrt.push_entry(IBufferEntry(inst=inst, free=True))
-        assert (wrt._buffered, wrt._zero_cost) == (1, 1)
-        wrt.pop_head()
-        assert (wrt._buffered, wrt._zero_cost) == (0, 1)
-        wrt.pop_head()
-        assert (wrt._buffered, wrt._zero_cost) == (0, 0)
-        wrt.push_entry(IBufferEntry(inst=inst, skip_token=True))
-        wrt.clear_ibuffer()
-        assert (wrt._buffered, wrt._zero_cost) == (0, 0)
-        assert not wrt.ibuffer
+        ibuf = IBuffer(ZeroCostLedger())
+        ibuf.push(IBufferEntry(inst=inst))
+        ibuf.push(IBufferEntry(inst=inst, free=True))
+        assert (ibuf.buffered, ibuf.zero_cost) == (1, 1)
+        ibuf.pop()
+        assert (ibuf.buffered, ibuf.zero_cost) == (0, 1)
+        ibuf.pop()
+        assert (ibuf.buffered, ibuf.zero_cost) == (0, 0)
+        ibuf.push(IBufferEntry(inst=inst, skip_token=True))
+        ibuf.clear()
+        assert (ibuf.buffered, ibuf.zero_cost) == (0, 0)
+        assert not ibuf
+
+    def test_ledger_tracks_shared_population_and_detach(self):
+        prog = assemble("nop\nexit")
+        inst = prog.instructions[0]
+        ledger = ZeroCostLedger()
+        a, b = IBuffer(ledger), IBuffer(ledger)
+        a.push(IBufferEntry(inst=inst, skip_token=True))
+        a.push(IBufferEntry(inst=inst))
+        b.push(IBufferEntry(inst=inst, free=True))
+        assert ledger.total == 2
+        a.pop()
+        assert ledger.total == 1
+        b.detach()
+        assert ledger.total == 0
+        # detached buffers keep their entries but no longer count
+        assert len(b) == 1 and b.zero_cost == 0
 
 
 class TestDeterminism:
