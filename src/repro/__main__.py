@@ -140,6 +140,14 @@ def main(argv=None) -> int:
     parser.add_argument("--resume", default=None, metavar="PATH",
                         help="sweep journal: skip specs already completed in a "
                              "previous (possibly killed) run, append new ones")
+    parser.add_argument("--checkpoint-interval", type=int, default=0, metavar="N",
+                        help="write a crash-safe simulation checkpoint every N "
+                             "cycles; killed/timed-out runs resume from the "
+                             "newest checkpoint on retry (default: off)")
+    parser.add_argument("--max-cycles", type=int, default=0, metavar="N",
+                        help="abort any simulation that exceeds N cycles with a "
+                             "DeadlockError and diagnostic dump (default: the "
+                             "GPU config's built-in limit)")
     parser.add_argument("--seed", type=int, default=0, metavar="N",
                         help="for `chaos`/`fuzz`: campaign seed (default: 0)")
     parser.add_argument("--budget", type=int, default=200, metavar="M",
@@ -204,6 +212,8 @@ def main(argv=None) -> int:
         timeout_s=args.timeout,
         max_retries=args.max_retries,
         resume=args.resume,
+        checkpoint_interval_cycles=args.checkpoint_interval,
+        max_cycles=args.max_cycles,
     )
     if args.clear_cache:
         removed = parallel.clear_cache()

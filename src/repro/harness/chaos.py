@@ -11,7 +11,12 @@ sweep three times:
    fail — with retries, timeout and quarantine enabled;
 3. **resume** — the same sweep again with ``--resume`` semantics against
    the journal the faulted pass wrote, to prove completed specs are
-   skipped and the corrupted cache entry is detected and re-simulated.
+   skipped and the corrupted cache entry is detected and re-simulated;
+4. **kill+resume** — a fresh cache/journal, a plan with a single
+   ``sim-kill`` rule, and a policy with ``checkpoint_interval_cycles``
+   set: one spec's worker is killed mid-simulation right after its first
+   checkpoint write, and the retry must resume from that checkpoint and
+   produce a bit-identical result.
 
 The soak then asserts the fault-tolerance contract:
 
@@ -23,7 +28,10 @@ The soak then asserts the fault-tolerance contract:
   and energy are **bit-identical** to the clean reference — fault
   handling may never change what a run computes;
 - the resume pass re-executes only the incomplete specs, verified via
-  the journal-skip / simulated / corrupt-read counters.
+  the journal-skip / simulated / corrupt-read counters;
+- the kill+resume pass records at least one checkpoint write and one
+  checkpoint resume, and every spec (the killed one included) matches
+  the clean reference bit-for-bit.
 
 Every deviation is collected into :class:`ChaosReport.problems` instead
 of raising, so a CI run prints the whole picture before failing.
@@ -62,6 +70,7 @@ class ChaosReport:
     clean_stats: SweepStats
     fault_stats: SweepStats
     resume_stats: SweepStats
+    kill_stats: SweepStats
     problems: List[str] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
 
@@ -74,6 +83,7 @@ class ChaosReport:
         lines.append(f"clean : {self.clean_stats.render()}")
         lines.append(f"fault : {self.fault_stats.render()}")
         lines.append(f"resume: {self.resume_stats.render()}")
+        lines.append(f"kill  : {self.kill_stats.render()}")
         if self.fault_stats.quarantined:
             lines.append(f"quarantined: {', '.join(self.fault_stats.quarantined)}")
         for note in self.notes:
@@ -84,7 +94,8 @@ class ChaosReport:
             lines.extend(f"  - {p}" for p in self.problems)
         else:
             lines.append("chaos soak OK: faults injected, stats bit-identical, "
-                         "resume skipped completed specs")
+                         "resume skipped completed specs, mid-simulation kill "
+                         "resumed from checkpoint")
         return "\n".join(lines)
 
 
@@ -158,12 +169,35 @@ def chaos_soak(
                 policy=policy, resume=journal,
             )
 
+        # Kill+resume pass: a fresh cache and journal, one sim-kill rule
+        # (random_plan deals the first shuffled label to the first kind),
+        # and a checkpointing policy.  The killed worker dies right after
+        # its first checkpoint write; the retry must resume from it.
+        kill_plan = faultlib.random_plan(
+            labels, seed=seed, kinds=(faultlib.SIM_KILL,)
+        )
+        kill_dir = os.path.join(tmp, "kill")
+        kill_policy = ExecPolicy(
+            timeout_s=policy.timeout_s,
+            max_retries=3,
+            backoff_base_s=0.0,
+            quarantine_after=2,
+            checkpoint_interval_cycles=64,
+        )
+        with kill_plan.active():
+            killed, kill_stats = run_specs(
+                specs, jobs=jobs, use_cache=True, cache_dir=kill_dir,
+                policy=kill_policy,
+                resume=os.path.join(kill_dir, "journal.jsonl"),
+            )
+
     report = ChaosReport(
         seed=seed,
         plan=plan,
         clean_stats=clean_stats,
         fault_stats=fault_stats,
         resume_stats=resume_stats,
+        kill_stats=kill_stats,
     )
     problems = report.problems
 
@@ -243,6 +277,30 @@ def chaos_soak(
             problems.append(f"{out.spec.label} failed on resume: {out.error_type}")
         elif not _identical(ref, out):
             problems.append(f"{out.spec.label}: resume stats differ from the clean run")
+
+    # --- kill+resume pass -------------------------------------------------
+    kill_labels = set(kill_plan.labels_for(faultlib.SIM_KILL))
+    if kill_stats.checkpoints_written < 1:
+        problems.append(
+            "kill pass wrote no checkpoints "
+            f"(checkpoints_written={kill_stats.checkpoints_written})"
+        )
+    if kill_stats.checkpoint_resumes < 1:
+        problems.append(
+            "mid-simulation kill was injected but no attempt resumed from a "
+            f"checkpoint (checkpoint_resumes={kill_stats.checkpoint_resumes})"
+        )
+    for ref, out in zip(clean, killed):
+        label = out.spec.label
+        if not out.ok:
+            problems.append(f"{label} did not survive the kill pass: {out.error_type}")
+        elif not _identical(ref, out):
+            problems.append(f"{label}: kill-pass result differs from the clean run")
+        elif label in kill_labels and out.attempts < 2:
+            problems.append(
+                f"{label} was the sim-kill target but finished on attempt 1 "
+                "(the kill never fired)"
+            )
 
     if not pooled:
         report.notes.append(

@@ -85,7 +85,7 @@ from repro.analysis.taxonomy_study import TaxonomyBreakdown
 from repro.config import DEFAULT_GPU, ExecPolicy, RunConfig, apply_overrides
 from repro.core import DarsieConfig
 from repro.harness import faults as faultlib
-from repro.harness.runner import RunResult, WorkloadRunner
+from repro.harness.runner import CheckpointPlan, RunResult, WorkloadRunner
 from repro.timing import GPUConfig
 from repro.workloads import build_workload
 
@@ -199,6 +199,10 @@ class RunOutcome:
     quarantined: bool = False
     #: satisfied by the resume journal (plus the cache) of a prior sweep
     resumed: bool = False
+    #: simulation checkpoints written during this spec's execution
+    checkpoints_written: int = 0
+    #: the run continued from an on-disk checkpoint instead of cycle 0
+    checkpoint_resumed: bool = False
 
     @property
     def ok(self) -> bool:
@@ -242,6 +246,14 @@ class SweepStats:
     quarantined: List[str] = field(default_factory=list)
     #: specs skipped because the resume journal marked them complete
     journal_skips: int = 0
+    #: simulation checkpoints written across all specs
+    checkpoints_written: int = 0
+    #: runs that continued from an on-disk checkpoint instead of cycle 0
+    checkpoint_resumes: int = 0
+    #: orphaned atomic-write temp files (cache and checkpoint) reaped
+    stale_tmp_reaped: int = 0
+    #: unparseable resume-journal lines skipped (torn final record)
+    journal_bad_lines: int = 0
     wall_time_s: float = 0.0
     jobs: int = 1
     #: (spec label, seconds, "hit" | "resume" | "sim" | "fail") in spec order
@@ -262,6 +274,10 @@ class SweepStats:
             "pool_restarts": self.pool_restarts,
             "quarantined": list(self.quarantined),
             "journal_skips": self.journal_skips,
+            "checkpoints_written": self.checkpoints_written,
+            "checkpoint_resumes": self.checkpoint_resumes,
+            "stale_tmp_reaped": self.stale_tmp_reaped,
+            "journal_bad_lines": self.journal_bad_lines,
             "wall_time_s": round(self.wall_time_s, 6),
             "jobs": self.jobs,
             "per_run": [list(r) for r in self.per_run],
@@ -281,6 +297,10 @@ class SweepStats:
         self.pool_restarts += other.pool_restarts
         self.quarantined.extend(other.quarantined)
         self.journal_skips += other.journal_skips
+        self.checkpoints_written += other.checkpoints_written
+        self.checkpoint_resumes += other.checkpoint_resumes
+        self.stale_tmp_reaped += other.stale_tmp_reaped
+        self.journal_bad_lines += other.journal_bad_lines
         self.wall_time_s += other.wall_time_s
         self.jobs = max(self.jobs, other.jobs)
         self.per_run.extend(other.per_run)
@@ -293,6 +313,14 @@ class SweepStats:
         )
         if self.journal_skips:
             text += f", {self.journal_skips} resumed from journal"
+        if self.checkpoints_written:
+            text += f", {self.checkpoints_written} checkpoints written"
+        if self.checkpoint_resumes:
+            text += f", {self.checkpoint_resumes} checkpoint resumes"
+        if self.stale_tmp_reaped:
+            text += f", {self.stale_tmp_reaped} stale tmp files reaped"
+        if self.journal_bad_lines:
+            text += f", {self.journal_bad_lines} torn journal lines skipped"
         if self.retries:
             text += f", {self.retries} retries"
         if self.timeouts:
@@ -342,6 +370,8 @@ _defaults = {
     "timeout_s": 0.0,
     "max_retries": 0,
     "resume": None,
+    "checkpoint_interval_cycles": 0,
+    "max_cycles": 0,
 }
 
 _last_sweep: Optional[SweepStats] = None
@@ -354,6 +384,8 @@ def configure(
     timeout_s: Optional[float] = None,
     max_retries: Optional[int] = None,
     resume: Optional[Union[bool, str]] = None,
+    checkpoint_interval_cycles: Optional[int] = None,
+    max_cycles: Optional[int] = None,
 ) -> None:
     """Set process-wide defaults for subsequent sweeps."""
     if jobs is not None:
@@ -368,6 +400,10 @@ def configure(
         _defaults["max_retries"] = max(0, int(max_retries))
     if resume is not None:
         _defaults["resume"] = resume or None
+    if checkpoint_interval_cycles is not None:
+        _defaults["checkpoint_interval_cycles"] = max(0, int(checkpoint_interval_cycles))
+    if max_cycles is not None:
+        _defaults["max_cycles"] = max(0, int(max_cycles))
 
 
 def default_jobs() -> int:
@@ -501,6 +537,19 @@ def legacy_cache_path(spec: RunSpec, key: str, cache_dir: str) -> str:
     return os.path.join(cache_dir, f"{_cache_slug(spec)}-{key[:16]}.pkl")
 
 
+def checkpoint_path(spec: RunSpec, key: str, cache_dir: str) -> str:
+    """On-disk location of one spec's in-flight simulation checkpoint.
+
+    Checkpoints live next to the spec's cache entry (same shard, same
+    slug/key naming, ``.ckpt`` suffix), so the spec-identity guarantees
+    of :func:`cache_key` carry over: a resumed attempt can only ever
+    pick up a checkpoint written for the exact same run inputs.
+    """
+    return os.path.join(
+        cache_dir, cache_shard(key), f"{_cache_slug(spec)}-{key[:16]}.ckpt"
+    )
+
+
 def _cache_load(path: str, key: str) -> Tuple[Optional[object], str]:
     """``(result, status)`` with status ``"hit"``, ``"miss"`` or
     ``"corrupt"``.
@@ -555,8 +604,10 @@ def cache_lookup(spec: RunSpec, key: str, cache_dir: str) -> Tuple[Optional[obje
     return None, "miss"
 
 
-#: temp-file suffix pattern used by :func:`_cache_store`'s atomic writes
-_TMP_RE = re.compile(r"\.pkl\.tmp\.\d+$")
+#: temp-file suffix patterns of the two atomic writers: cache entries
+#: (:func:`_cache_store`) and simulation checkpoints
+#: (:func:`repro.timing.checkpoint.write_checkpoint`)
+_TMP_RE = re.compile(r"\.(?:pkl|ckpt)\.tmp\.\d+$")
 
 #: tmp files older than this are considered leaked by a crashed sweep
 STALE_TMP_AGE_S = 3600.0
@@ -605,11 +656,13 @@ def _cache_dirs(directory: str) -> List[str]:
 
 
 def reap_stale_tmp(cache_dir: Optional[str] = None, max_age_s: float = STALE_TMP_AGE_S) -> int:
-    """Remove ``*.pkl.tmp.<pid>`` files leaked by crashed sweeps, in the
-    flat root and in every shard directory.
+    """Remove ``*.pkl.tmp.<pid>`` / ``*.ckpt.tmp.<pid>`` files leaked by
+    crashed sweeps, in the flat root and in every shard directory.
 
     A live sweep's tmp file exists only for the instant between write
     and rename, so anything older than ``max_age_s`` is garbage.
+    (Completed ``.ckpt`` files themselves are pruned when their spec's
+    result lands, and kept on failure as resume/debug material.)
     Returns the number of files removed.
     """
     directory = resolve_cache_dir(cache_dir)
@@ -637,9 +690,9 @@ def reap_stale_tmp(cache_dir: Optional[str] = None, max_age_s: float = STALE_TMP
 
 def clear_cache(cache_dir: Optional[str] = None) -> int:
     """Delete every cache entry — sharded and legacy flat alike —
-    including leaked ``*.tmp.<pid>`` files from crashed sweeps; returns
-    the number of files removed (emptied shard directories are pruned
-    but not counted)."""
+    including simulation checkpoints and leaked ``*.tmp.<pid>`` files
+    from crashed sweeps; returns the number of files removed (emptied
+    shard directories are pruned but not counted)."""
     directory = resolve_cache_dir(cache_dir)
     removed = 0
     if not os.path.isdir(directory):
@@ -650,7 +703,12 @@ def clear_cache(cache_dir: Optional[str] = None) -> int:
         except OSError:
             continue
         for name in names:
-            if name.endswith(".pkl") or _TMP_RE.search(name):
+            if (
+                name.endswith(".pkl")
+                or name.endswith(".ckpt")
+                or name.endswith(".deadlock.json")
+                or _TMP_RE.search(name)
+            ):
                 try:
                     os.unlink(os.path.join(subdir, name))
                     removed += 1
@@ -669,14 +727,17 @@ def clear_cache(cache_dir: Optional[str] = None) -> int:
 # ---------------------------------------------------------------------------
 
 
-def load_journal(path: str) -> Dict[str, dict]:
+def load_journal(path: str, stats: Optional[SweepStats] = None) -> Dict[str, dict]:
     """Parse an append-only sweep journal into ``{cache key: last entry}``.
 
     Unreadable lines (a kill can truncate the final line mid-write) are
     skipped — a journal is an optimization, never a source of truth; the
-    result payloads themselves live in the cache.
+    result payloads themselves live in the cache.  Skips are not silent:
+    each load warns once with the count, and with a ``stats`` object
+    they are tallied into ``journal_bad_lines``.
     """
     entries: Dict[str, dict] = {}
+    bad_lines = 0
     try:
         with open(path) as fh:
             for line in fh:
@@ -686,23 +747,42 @@ def load_journal(path: str) -> Dict[str, dict]:
                 try:
                     entry = json.loads(line)
                 except ValueError:
+                    bad_lines += 1
                     continue
                 key = entry.get("key") if isinstance(entry, dict) else None
                 if key:
                     entries[key] = entry
     except OSError:
         return {}
+    if bad_lines:
+        if stats is not None:
+            stats.journal_bad_lines += bad_lines
+        warnings.warn(
+            f"resume journal {path!r} had {bad_lines} unparseable "
+            f"line{'' if bad_lines == 1 else 's'} (torn write?); skipped",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return entries
 
 
-def append_journal(path: str, entry: dict) -> bool:
-    """Append one outcome line; best-effort, returns False on failure."""
+def append_journal(path: str, entry: dict, fsync: bool = False) -> bool:
+    """Append one outcome line; best-effort, returns False on failure.
+
+    With ``fsync`` (``ExecPolicy.journal_fsync``) the record is flushed
+    and fsynced before the call returns, so a journal line survives
+    power loss — not just process death — at the cost of one disk
+    round-trip per record.
+    """
     try:
         parent = os.path.dirname(path)
         if parent:
             os.makedirs(parent, exist_ok=True)
         with open(path, "a") as fh:
             fh.write(json.dumps(entry, sort_keys=True) + "\n")
+            if fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
         return True
     except OSError:
         return False
@@ -718,7 +798,9 @@ def _build_runner(spec: RunSpec) -> WorkloadRunner:
     return WorkloadRunner(build_workload(spec.abbr, spec.scale), spec.gpu_config)
 
 
-def _execute_spec(spec: RunSpec) -> Union[RunResult, FunctionalResult]:
+def _execute_spec(
+    spec: RunSpec, checkpoint: Optional[CheckpointPlan] = None
+) -> Union[RunResult, FunctionalResult]:
     runner = _build_runner(spec)
     if spec.config_name == FUNCTIONAL:
         trace = runner.functional_trace()
@@ -727,37 +809,96 @@ def _execute_spec(spec: RunSpec) -> Union[RunResult, FunctionalResult]:
             taxonomy=taxonomy_breakdown(trace),
             dimensionality=runner.workload.dimensionality,
         )
-    return runner.run(spec.config_name, spec.darsie_config)
+    return runner.run(spec.config_name, spec.darsie_config, checkpoint=checkpoint)
 
 
-def _worker(spec: RunSpec, attempt: int = 1, in_child: bool = False) -> tuple:
+def _worker(
+    spec: RunSpec,
+    attempt: int = 1,
+    in_child: bool = False,
+    ckpt: Optional[Tuple[str, int, int]] = None,
+) -> tuple:
     """Run one spec, capturing any failure as data (never raises).
 
     An injected ``crash`` fault is the exception to "never raises": in a
     pool worker it is a genuine ``os._exit``, which no ``except`` sees.
+
+    ``ckpt`` is the checkpoint/budget triple ``(path, interval_cycles,
+    max_cycles)`` from the spec's :class:`~repro.config.ExecPolicy` —
+    plain data, so it crosses the process boundary like the spec does;
+    the :class:`CheckpointPlan` (with its fault-hook callback) is built
+    here, inside the worker.  The trailing payload element reports what
+    the plan observed, on success and failure alike: a checkpoint
+    written just before a crash must still be counted.
     """
     start = time.perf_counter()
+    plan: Optional[CheckpointPlan] = None
+    if ckpt is not None:
+        path, interval, max_cycles = ckpt
+
+        def on_write(written: int) -> None:
+            faultlib.during_simulation(
+                spec.label, attempt, in_child=in_child, checkpoints_written=written
+            )
+
+        plan = CheckpointPlan(
+            path=path,
+            interval_cycles=interval,
+            max_cycles=max_cycles,
+            on_write=on_write,
+        )
+
+    def meta() -> dict:
+        if plan is None:
+            return {}
+        return {
+            "checkpoints_written": plan.written,
+            "checkpoint_resumed": plan.resumed,
+        }
+
     try:
         faultlib.before_execute(spec.label, attempt, in_child=in_child)
-        result = _execute_spec(spec)
-        return ("ok", result, time.perf_counter() - start)
+        result = _execute_spec(spec, checkpoint=plan)
+        return ("ok", result, time.perf_counter() - start, meta())
     except Exception as exc:
+        dump = getattr(exc, "dump", None)
+        if dump is not None and ckpt is not None:
+            # Persist the watchdog's diagnostic next to the checkpoint
+            # so CI can upload both as failure artifacts.
+            try:
+                parent = os.path.dirname(ckpt[0])
+                if parent:
+                    os.makedirs(parent, exist_ok=True)
+                with open(f"{ckpt[0]}.deadlock.json", "w") as fh:
+                    json.dump({"label": spec.label, "dump": dump}, fh,
+                              indent=2, sort_keys=True)
+            except OSError:
+                pass  # diagnostics must never mask the real failure
         return (
             "err",
             type(exc).__name__,
             f"{exc}\n{traceback.format_exc()}",
             time.perf_counter() - start,
+            meta(),
         )
 
 
 def _outcome_from_payload(spec: RunSpec, payload: tuple, attempts: int = 1) -> RunOutcome:
     if payload[0] == "ok":
-        _, result, elapsed = payload
-        return RunOutcome(spec=spec, result=result, wall_time_s=elapsed, attempts=attempts)
-    _, error_type, error, elapsed = payload
+        _, result, elapsed = payload[:3]
+        meta = payload[3] if len(payload) > 3 else {}
+        return RunOutcome(
+            spec=spec, result=result, wall_time_s=elapsed, attempts=attempts,
+            checkpoints_written=meta.get("checkpoints_written", 0),
+            checkpoint_resumed=meta.get("checkpoint_resumed", False),
+        )
+    _, error_type, error, elapsed = payload[:4]
+    meta = payload[4] if len(payload) > 4 else {}
     return RunOutcome(
         spec=spec, result=None, error=error, error_type=error_type,
         wall_time_s=elapsed, attempts=attempts,
+        checkpoints_written=meta.get("checkpoints_written", 0),
+        checkpoint_resumed=meta.get("checkpoint_resumed", False),
     )
 
 
@@ -775,6 +916,9 @@ class _Attempt:
     key: Optional[str]
     path: Optional[str]
     policy: ExecPolicy
+    #: checkpoint/budget triple ``(ckpt path, interval_cycles,
+    #: max_cycles)``; None when the policy enables neither
+    ckpt: Optional[Tuple[str, int, int]] = None
     attempt: int = 1
     #: hard worker deaths attributed to this spec (quarantine counter)
     crashes: int = 0
@@ -859,7 +1003,7 @@ def _run_serial(
     """
     for item in pending:
         while True:
-            payload = _worker(item.spec, item.attempt, in_child=False)
+            payload = _worker(item.spec, item.attempt, in_child=False, ckpt=item.ckpt)
             outcome = _outcome_from_payload(item.spec, payload, attempts=item.attempt)
             if outcome.ok:
                 record(item, outcome)
@@ -945,7 +1089,7 @@ def _run_pool(
         deadline = None
         if item.policy.timeout_s > 0:
             deadline = time.monotonic() + item.policy.timeout_s
-        future = pool.submit(_worker, item.spec, item.attempt, True)
+        future = pool.submit(_worker, item.spec, item.attempt, True, item.ckpt)
         inflight[future] = (item, deadline, pool)
 
     def requeue(item: _Attempt) -> None:
@@ -1089,12 +1233,14 @@ def run_specs(
     base_policy = policy or ExecPolicy(
         timeout_s=float(_defaults.get("timeout_s", 0.0)),
         max_retries=int(_defaults.get("max_retries", 0)),
+        checkpoint_interval_cycles=int(_defaults.get("checkpoint_interval_cycles", 0)),
+        max_cycles=int(_defaults.get("max_cycles", 0)),
     )
-    journal = load_journal(resume_path) if resume_path else {}
 
     start = time.perf_counter()
     outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
     stats = SweepStats(jobs=jobs)
+    journal = load_journal(resume_path, stats) if resume_path else {}
     pending: List[_Attempt] = []
     write_failures = 0
 
@@ -1103,25 +1249,51 @@ def run_specs(
         if outcome.ok and not outcome.cache_hit and caching and item.path:
             if not _cache_store(item.path, item.key, outcome.result, item.spec.label):
                 write_failures += 1
+        stats.checkpoints_written += outcome.checkpoints_written
+        if outcome.checkpoint_resumed:
+            stats.checkpoint_resumes += 1
+        if outcome.ok and item.ckpt is not None:
+            # The landed result supersedes the in-flight checkpoint;
+            # failed specs keep theirs as resume/debug material.
+            try:
+                os.unlink(item.ckpt[0])
+            except OSError:
+                pass
         outcomes[item.index] = outcome
         if resume_path:
             # Journal *after* the cache store: a journal line saying
             # "ok" must imply the result is already on disk.
-            append_journal(resume_path, outcome.to_journal_dict(item.key))
+            append_journal(
+                resume_path,
+                outcome.to_journal_dict(item.key),
+                fsync=item.policy.journal_fsync,
+            )
 
     if caching:
-        reap_stale_tmp(directory)
+        stats.stale_tmp_reaped += reap_stale_tmp(directory)
 
     for i, spec in enumerate(specs):
-        key = cache_key(spec) if (caching or resume_path) else None
+        pol = spec.policy or base_policy
+        checkpointing = (
+            spec.config_name != FUNCTIONAL
+            and (pol.checkpoint_interval_cycles > 0 or pol.max_cycles > 0)
+        )
+        key = cache_key(spec) if (caching or resume_path or checkpointing) else None
         path = cache_path(spec, key, directory) if caching else None
+        ckpt = None
+        if checkpointing and key:
+            ckpt = (
+                checkpoint_path(spec, key, directory),
+                pol.checkpoint_interval_cycles,
+                pol.max_cycles,
+            )
         cached = None
         if caching:
             cached, status = cache_lookup(spec, key, directory)
             if status == "corrupt":
                 stats.cache_read_failures += 1
         item = _Attempt(index=i, spec=spec, key=key, path=path,
-                        policy=spec.policy or base_policy)
+                        policy=pol, ckpt=ckpt)
         if cached is not None:
             entry = journal.get(key) if key else None
             resumed = bool(entry and entry.get("ok"))

@@ -29,9 +29,15 @@ Wire protocol (HTTP/1.1, keep-alive):
     ``429`` + ``Retry-After`` when the admission queue is full, ``503``
     while draining, ``500`` when the simulation itself failed.
 ``GET /stats``
-    service counters + aggregated sweep stats (JSON).
+    service counters + aggregated sweep stats (JSON), including the
+    checkpoint counters (``checkpoints_written`` / ``checkpoint_resumes``
+    from the sweep layer) and the ``deadlocks`` watchdog counter.
 ``GET /healthz``
-    liveness + draining flag.
+    liveness + draining flag, plus forward-progress degradation: when
+    work is pending and the pump has not finished a batch for longer
+    than ``stall_threshold_s``, the body reports
+    ``{"status": "degraded", "reason": ...}`` (still HTTP 200 — the
+    service is alive, just wedged; orchestrators alert on the body).
 
 Shutdown is graceful: :meth:`SweepServer.stop` stops accepting, lets the
 pump drain every admitted flight (each ``run_specs`` batch appends its
@@ -95,6 +101,8 @@ class ServeStats:
     bad_requests: int = 0
     #: simulations that failed (each waiter got a 500)
     sim_failures: int = 0
+    #: simulations the forward-progress watchdog aborted (DeadlockError)
+    deadlocks: int = 0
     #: highest simultaneous distinct-config load observed
     queue_peak: int = 0
 
@@ -133,6 +141,7 @@ class SweepServer:
         cache_dir: Optional[str] = None,
         journal: Optional[str] = None,
         memory_entries: int = 4096,
+        stall_threshold_s: float = 120.0,
         run_batch: Optional[Callable[[Sequence[RunSpec]], Tuple[List[RunOutcome], SweepStats]]] = None,
         registry=REGISTRY,
     ):
@@ -163,6 +172,10 @@ class SweepServer:
         self._pump_task: Optional[asyncio.Task] = None
         self._conn_tasks: set = set()
         self._started_at = time.perf_counter()
+        #: pump liveness: work pending for longer than this without a
+        #: batch completing marks the service degraded (0 disables)
+        self.stall_threshold_s = float(stall_threshold_s)
+        self._progress_at = time.monotonic()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -231,6 +244,7 @@ class SweepServer:
                     )
                 self._resolve(flight, outcome)
             self._batch_size = 0
+            self._progress_at = time.monotonic()
 
     def _merge_sweep(self, stats: SweepStats) -> None:
         self.sweep_totals.merge(stats)
@@ -245,9 +259,19 @@ class SweepServer:
             self.store.put(flight.key, payload)
         else:
             self.stats.sim_failures += 1
+        if outcome.error_type == "DeadlockError":
+            self.stats.deadlocks += 1
         self._inflight.pop(flight.key, None)
         if not flight.future.done():
             flight.future.set_result((outcome, payload))
+
+    def _stalled_for_s(self) -> Optional[float]:
+        """Seconds the pump has gone without progress while work is
+        pending, once past the threshold; ``None`` while healthy."""
+        if self.stall_threshold_s <= 0 or self.queue_depth == 0:
+            return None
+        stalled = time.monotonic() - self._progress_at
+        return stalled if stalled > self.stall_threshold_s else None
 
     # -- HTTP plumbing -----------------------------------------------------
 
@@ -318,9 +342,19 @@ class SweepServer:
         if path == "/stats":
             return 200, (), json.dumps(self.stats_dict(), sort_keys=True).encode()
         if path == "/healthz":
-            return 200, (), json.dumps(
-                {"ok": True, "draining": self._draining}
-            ).encode()
+            stalled = self._stalled_for_s()
+            health = {
+                "ok": True,
+                "status": "ok" if stalled is None else "degraded",
+                "draining": self._draining,
+            }
+            if stalled is not None:
+                health["reason"] = (
+                    f"no pump progress for {stalled:.1f}s with "
+                    f"{self.queue_depth} config(s) pending "
+                    f"(threshold {self.stall_threshold_s:.1f}s)"
+                )
+            return 200, (), json.dumps(health, sort_keys=True).encode()
         return 404, (), b'{"error":"unknown path"}'
 
     # -- the /run path -----------------------------------------------------
@@ -388,6 +422,10 @@ class SweepServer:
                         "retry_after_s": retry_after,
                     }).encode(),
                 )
+            if self.queue_depth == 0:
+                # the stall clock measures waiting work, so it starts
+                # when an idle pump is first handed something to do
+                self._progress_at = time.monotonic()
             flight = _Flight(key=key, spec=spec,
                              future=asyncio.get_running_loop().create_future())
             self._inflight[key] = flight
@@ -438,6 +476,10 @@ class SweepServer:
             "rejected": self.stats.rejected,
             "bad_requests": self.stats.bad_requests,
             "sim_failures": self.stats.sim_failures,
+            "deadlocks": self.stats.deadlocks,
+            "checkpoints_written": self.sweep_totals.checkpoints_written,
+            "checkpoint_resumes": self.sweep_totals.checkpoint_resumes,
+            "stalled": self._stalled_for_s() is not None,
             "hit_rate": round(self.stats.hit_rate, 6),
             "queue_depth": self.queue_depth,
             "queue_peak": self.stats.queue_peak,

@@ -75,6 +75,17 @@ class GPUConfig:
     event_skip: bool = True
     # -- safety ---------------------------------------------------------------
     max_cycles: int = 5_000_000
+    #: forward-progress window: raise :class:`repro.timing.gpu.DeadlockError`
+    #: when no instruction executes for this many cycles.  Also clamps how
+    #: far the event skipper may jump, so a stuck simulation raises at the
+    #: same cycle whether stepping or skipping.
+    watchdog_cycles: int = 50_000
+    #: fast deadlock detector: consecutive whole-GPU ticks with zero
+    #: activity *and* no scheduled wake event anywhere.  Such a tick can
+    #: never stop repeating (nothing is in flight and no timed release is
+    #: pending), so any threshold is sound; a small one turns a silent
+    #: hang into a prompt structured error.
+    watchdog_idle_ticks: int = 1_000
 
     def scaled(self, **overrides) -> "GPUConfig":
         """A copy with selected fields replaced."""

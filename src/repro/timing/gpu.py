@@ -8,8 +8,9 @@ the paper's baseline inherits from GPGPU-Sim.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.isa.program import Program
 from repro.simt.executor import ExecutionContext, FunctionalEngine
@@ -22,7 +23,20 @@ from repro.timing.stats import SimStats
 
 
 class DeadlockError(RuntimeError):
-    """The simulation made no forward progress for many cycles."""
+    """The simulation made no forward progress within the watchdog window.
+
+    ``dump`` is a structured, JSON-safe diagnostic: per-SM stage/buffer
+    occupancy plus the control state of every live warp at the moment
+    the watchdog fired (see :meth:`GPU._diagnostic_dump`), so a hung
+    kernel can be triaged without re-running under a trace.
+    """
+
+    def __init__(self, message: str, dump: Optional[Dict[str, Any]] = None):
+        super().__init__(message)
+        self.dump: Dict[str, Any] = dump if dump is not None else {}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"message": str(self), "dump": self.dump}
 
 
 @dataclass
@@ -109,6 +123,14 @@ class GPU:
         ]
         self._pending = list(range(launch.num_blocks))
         self._dispatch_rr = 0
+        # Cycle-loop state lives on the instance (not as run() locals) so
+        # an in-flight simulation can be snapshotted and resumed from the
+        # exact loop iteration it was paused at.
+        self.cycle = 0
+        self._started = False
+        self._watchdog_executed = -1
+        self._watchdog_cycle = 0
+        self._idle_ticks = 0
 
     def attach_trace(self, trace) -> None:
         """Record per-cycle pipeline events into ``trace``
@@ -134,11 +156,47 @@ class GPU:
             else:
                 stalled += 1
 
-    def run(self) -> SimulationResult:
-        self._dispatch()
-        cycle = 0
-        watchdog_executed = -1
-        watchdog_cycle = 0
+    @property
+    def finished(self) -> bool:
+        """True once every threadblock has been dispatched and retired."""
+        return not self._pending and not any(sm.busy for sm in self.sms)
+
+    def run(
+        self,
+        checkpoint_interval: int = 0,
+        checkpoint_cb: Optional[Callable[["GPU"], None]] = None,
+    ) -> SimulationResult:
+        """Run (or resume) the simulation to completion.
+
+        When ``checkpoint_interval`` is positive, ``checkpoint_cb`` is
+        invoked with this GPU every time at least that many cycles have
+        elapsed since the last call — always at a loop-iteration
+        boundary, where the instance state is a complete, consistent
+        snapshot surface.  The callback is never stored on the instance,
+        so it places no picklability constraint on checkpoints.
+        """
+        result = self.run_to(None, checkpoint_interval, checkpoint_cb)
+        assert result is not None  # unbounded run either finishes or raises
+        return result
+
+    def run_to(
+        self,
+        stop_cycle: Optional[int],
+        checkpoint_interval: int = 0,
+        checkpoint_cb: Optional[Callable[["GPU"], None]] = None,
+    ) -> Optional[SimulationResult]:
+        """Advance the simulation, pausing once ``self.cycle`` reaches
+        ``stop_cycle`` (``None`` = run to completion).
+
+        Returns the :class:`SimulationResult` when the kernel finished,
+        or ``None`` when paused.  A paused GPU can be resumed by calling
+        this again (possibly after a :meth:`snapshot`/:meth:`restore`
+        round trip); the continued run replays the exact step sequence
+        of an uninterrupted one, so results are bit-identical.
+        """
+        if not self._started:
+            self._dispatch()
+            self._started = True
         # Event-driven skipping: when a whole tick produced zero state
         # changes, the next tick would repeat it exactly — jump straight
         # to the earliest known-future event (writeback heap head /
@@ -149,26 +207,33 @@ class GPU:
             sm.pipeline_trace is None and sm.stage_trace is None
             for sm in self.sms
         )
+        watchdog_window = self.config.watchdog_cycles
+        last_checkpoint = self.cycle
         while self._pending or any(sm.busy for sm in self.sms):
+            if stop_cycle is not None and self.cycle >= stop_cycle:
+                return None
             activity = 0
             for sm in self.sms:
                 if sm.busy:
-                    activity += sm.tick(cycle)
+                    activity += sm.tick(self.cycle)
             if any(sm.completed_tbs for sm in self.sms):
                 for sm in self.sms:
                     sm.completed_tbs.clear()
                 self._dispatch()
-            cycle += 1
-            if cycle >= self.config.max_cycles:
-                raise DeadlockError(f"exceeded max_cycles={self.config.max_cycles}")
-            executed = self.engine.instructions_executed
-            if executed != watchdog_executed:
-                watchdog_executed = executed
-                watchdog_cycle = cycle
-            elif cycle - watchdog_cycle > 50_000:
+            self.cycle += 1
+            if self.cycle >= self.config.max_cycles:
                 raise DeadlockError(
-                    f"no instruction executed for 50k cycles at cycle {cycle}; "
-                    "blocked warps: "
+                    f"exceeded max_cycles={self.config.max_cycles}",
+                    dump=self._diagnostic_dump("max_cycles"),
+                )
+            executed = self.engine.instructions_executed
+            if executed != self._watchdog_executed:
+                self._watchdog_executed = executed
+                self._watchdog_cycle = self.cycle
+            elif self.cycle - self._watchdog_cycle > watchdog_window:
+                raise DeadlockError(
+                    f"no instruction executed for {watchdog_window} cycles "
+                    f"at cycle {self.cycle}; blocked warps: "
                     + ", ".join(
                         f"sm{sm.sm_id}/w{w.age}@{w.fetch_pc:#x}"
                         f"{'S' if w.skip_blocked else ''}"
@@ -178,9 +243,10 @@ class GPU:
                         for sm in self.sms
                         for w in sm.warps
                         if not w.exited
-                    )
+                    ),
+                    dump=self._diagnostic_dump("no_instruction_executed"),
                 )
-            if skip_enabled and activity == 0:
+            if activity == 0:
                 target: Optional[int] = None
                 for sm in self.sms:
                     if not sm.busy:
@@ -190,31 +256,142 @@ class GPU:
                         continue
                     if target is None or wake < target:
                         target = wake
-                if target is not None:
+                if target is None:
+                    # Nothing in flight and no timed release pending on
+                    # any SM: this tick repeats forever.  Raise promptly
+                    # instead of spinning out the full watchdog window.
+                    self._idle_ticks += 1
+                    if self._idle_ticks >= self.config.watchdog_idle_ticks:
+                        raise DeadlockError(
+                            f"no forward progress and no wake event for "
+                            f"{self._idle_ticks} consecutive idle ticks "
+                            f"at cycle {self.cycle}",
+                            dump=self._diagnostic_dump("idle_no_wake"),
+                        )
+                elif skip_enabled:
+                    self._idle_ticks = 0
                     # Never jump past the watchdog or max_cycles limits,
                     # so a genuinely stuck simulation still raises at the
                     # same cycle it would have when stepping.
                     target = min(
-                        target, watchdog_cycle + 50_000, self.config.max_cycles - 1
+                        target,
+                        self._watchdog_cycle + watchdog_window,
+                        self.config.max_cycles - 1,
                     )
-                    if target > cycle:
-                        delta = target - cycle
+                    if target > self.cycle:
+                        delta = target - self.cycle
                         for sm in self.sms:
                             if sm.busy:
                                 sm.advance_idle(delta)
-                        cycle = target
+                        self.cycle = target
+                else:
+                    self._idle_ticks = 0
+            else:
+                self._idle_ticks = 0
+            if (
+                checkpoint_interval > 0
+                and checkpoint_cb is not None
+                and self.cycle - last_checkpoint >= checkpoint_interval
+            ):
+                checkpoint_cb(self)
+                last_checkpoint = self.cycle
+        return self._finalize()
+
+    def _finalize(self) -> SimulationResult:
         merged = SimStats()
         for sm in self.sms:
-            sm.stats.cycles = cycle
+            sm.stats.cycles = self.cycle
             merged.merge(sm.stats)
-        merged.cycles = cycle
+        merged.cycles = self.cycle
         return SimulationResult(
             frontend_name=self.sms[0].frontend.name if self.sms else "BASE",
-            cycles=cycle,
+            cycles=self.cycle,
             stats=merged,
             per_sm_stats=[sm.stats for sm in self.sms],
             config=self.config,
         )
+
+    # -- crash-safe checkpointing -----------------------------------------
+
+    def snapshot(self) -> bytes:
+        """Serialize the complete in-flight simulator state.
+
+        The whole object graph is pickled in one shot so every shared
+        reference (the pipeline-wide :class:`ZeroCostLedger` aliased by
+        each warp's I-buffer, warps appearing in scheduler lists and the
+        writeback heap, the frontend's backpointers into its core) is
+        preserved exactly; :meth:`restore` yields a GPU whose continued
+        run is bit-identical to the uninterrupted one.  Trace recorders
+        are observation hooks, not simulator state, and may hold
+        unpicklable sinks — snapshotting under one is a usage error.
+        """
+        if any(
+            sm.pipeline_trace is not None or sm.stage_trace is not None
+            for sm in self.sms
+        ):
+            raise ValueError("cannot snapshot a GPU with a trace attached")
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @staticmethod
+    def restore(data: bytes) -> "GPU":
+        """Reconstitute a GPU from :meth:`snapshot` bytes."""
+        gpu = pickle.loads(data)
+        if not isinstance(gpu, GPU):
+            raise TypeError(f"snapshot does not contain a GPU: {type(gpu).__name__}")
+        return gpu
+
+    # -- watchdog diagnostics ----------------------------------------------
+
+    def _diagnostic_dump(self, reason: str) -> Dict[str, Any]:
+        """JSON-safe per-stage/per-warp state for :class:`DeadlockError`."""
+        sms = []
+        for sm in self.sms:
+            pipeline = sm.pipeline
+            warps = []
+            for w in sm.warps:
+                if w.exited:
+                    continue
+                warps.append(
+                    {
+                        "age": w.age,
+                        "warp_id": w.warp.warp_id,
+                        "tb_index": w.warp.tb_index,
+                        "scheduler": w.scheduler_id,
+                        "pc": w.warp.pc,
+                        "fetch_pc": w.fetch_pc,
+                        "flags": (
+                            ("S" if w.skip_blocked else "")
+                            + ("B" if w.branch_sync_blocked else "")
+                            + ("C" if w.cf_stalled else "")
+                            + ("Y" if w.warp.at_barrier else "")
+                        ),
+                        "ibuffer": w.ibuffer.buffered,
+                        "ibuffer_zero_cost": w.ibuffer.zero_cost,
+                        "inflight": w.inflight,
+                        "scoreboard": len(w.scoreboard),
+                    }
+                )
+            sms.append(
+                {
+                    "sm": sm.sm_id,
+                    "busy": sm.busy,
+                    "next_wake": sm.wake_cycle() if sm.busy else None,
+                    "stages": [stage.name for stage in pipeline.stages],
+                    "occupancy": pipeline.occupancy(),
+                    "wbq_depth": len(pipeline.wbq),
+                    "wbq_next_ready": pipeline.wbq.next_ready(),
+                    "live_tbs": sum(1 for tb in sm.tbs if not tb.completed),
+                    "warps": warps,
+                }
+            )
+        return {
+            "reason": reason,
+            "cycle": self.cycle,
+            "instructions_executed": self.engine.instructions_executed,
+            "pending_tbs": len(self._pending),
+            "frontend": self.sms[0].frontend.name if self.sms else "BASE",
+            "sms": sms,
+        }
 
 
 def simulate(

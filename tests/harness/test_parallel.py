@@ -454,10 +454,10 @@ class TestKeyboardInterrupt:
     def test_interrupt_still_flushes_partial_stats(self, monkeypatch):
         real_worker = parallel._worker
 
-        def interrupting(spec, attempt=1, in_child=False):
+        def interrupting(spec, attempt=1, in_child=False, ckpt=None):
             if spec.abbr == "FWS":
                 raise KeyboardInterrupt()
-            return real_worker(spec, attempt, in_child=in_child)
+            return real_worker(spec, attempt, in_child=in_child, ckpt=ckpt)
 
         monkeypatch.setattr(parallel, "_worker", interrupting)
         specs = [

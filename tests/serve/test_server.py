@@ -422,3 +422,76 @@ class TestEndToEnd:
         assert os.path.exists(cache_path(spec, key, cache_dir))  # sharded entry
         entries = parallel.load_journal(journal)
         assert entries[key]["ok"] is True
+
+
+class TestForwardProgressHealth:
+    """`/healthz` degrades when work is pending and the pump is wedged."""
+
+    def test_stalled_pump_reports_degraded_then_recovers(self, tmp_path):
+        release = threading.Event()
+        fake = FakeRunner(release=release)
+
+        async def scenario(server):
+            status, _, health = await request(server.port, "GET", "/healthz")
+            assert status == 200 and health["status"] == "ok"
+
+            pending = asyncio.ensure_future(
+                request(server.port, "POST", "/run", body()))
+            await wait_until(lambda: server.stats.misses == 1)
+            # the worker is blocked on `release`: no batch can complete
+            await asyncio.sleep(0.15)
+            status, _, health = await request(server.port, "GET", "/healthz")
+            assert status == 200  # alive-but-degraded: the body carries it
+            assert health["status"] == "degraded"
+            assert "no pump progress" in health["reason"]
+            assert "1 config(s) pending" in health["reason"]
+            status, _, stats = await request(server.port, "GET", "/stats")
+            assert stats["stalled"] is True
+
+            release.set()
+            status, _, reply = await asyncio.wait_for(pending, timeout=10)
+            assert status == 200
+            status, _, health = await request(server.port, "GET", "/healthz")
+            assert health["status"] == "ok" and "reason" not in health
+            status, _, stats = await request(server.port, "GET", "/stats")
+            assert stats["stalled"] is False
+
+        serve_test(scenario, run_batch=fake, cache_dir=str(tmp_path / "c"),
+                   stall_threshold_s=0.05)
+
+    def test_idle_server_never_degrades(self, tmp_path):
+        fake = FakeRunner()
+
+        async def scenario(server):
+            await asyncio.sleep(0.15)  # well past the threshold, no work
+            status, _, health = await request(server.port, "GET", "/healthz")
+            assert health["status"] == "ok"
+
+        serve_test(scenario, run_batch=fake, cache_dir=str(tmp_path / "c"),
+                   stall_threshold_s=0.05)
+
+    def test_deadlock_and_checkpoint_counters_in_stats(self, tmp_path):
+        class DeadlockRunner(FakeRunner):
+            def __call__(self, specs):
+                self.calls.append(list(specs))
+                outcomes = [RunOutcome(
+                    spec=s, result=None,
+                    error="exceeded max_cycles=50",
+                    error_type="DeadlockError",
+                ) for s in specs]
+                stats = SweepStats(runs=len(specs), failures=len(specs),
+                                   checkpoints_written=3, checkpoint_resumes=1)
+                return outcomes, stats
+
+        fake = DeadlockRunner()
+
+        async def scenario(server):
+            status, _, reply = await request(server.port, "POST", "/run", body())
+            assert status == 500 and reply["error_type"] == "DeadlockError"
+            status, _, stats = await request(server.port, "GET", "/stats")
+            assert stats["deadlocks"] == 1
+            assert stats["checkpoints_written"] == 3
+            assert stats["checkpoint_resumes"] == 1
+            assert stats["sweep"]["checkpoints_written"] == 3
+
+        serve_test(scenario, run_batch=fake, cache_dir=str(tmp_path / "c"))
